@@ -1,0 +1,115 @@
+// Shared configuration for the figure-reproduction benches: the paper's
+// three operating points (1 GbE testbed, 10 Gbps and 100 Gbps simulations)
+// with their buffer sizes, RTTs, ECN thresholds and scheduler settings.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "harness/cli.hpp"
+#include "stats/csv_writer.hpp"
+#include "harness/dynamic_experiment.hpp"
+#include "harness/static_experiment.hpp"
+#include "harness/table.hpp"
+#include "stats/fairness.hpp"
+#include "stats/percentile.hpp"
+#include "topo/star.hpp"
+
+namespace dynaq::bench {
+
+// 1 GbE testbed: Broadcom 56538-class port buffer, ~500 us base RTT.
+inline topo::StarConfig testbed_star(core::SchemeKind kind, int num_hosts = 5,
+                                     std::vector<double> weights = {1, 1, 1, 1}) {
+  topo::StarConfig cfg;
+  cfg.num_hosts = num_hosts;
+  cfg.link_rate_bps = 1e9;
+  cfg.link_delay = microseconds(std::int64_t{125});
+  cfg.buffer_bytes = 85'000;
+  cfg.queue_weights = std::move(weights);
+  cfg.scheme.kind = kind;
+  // Testbed ECN settings: K = 30 KB (DCTCP's experimentally best value at
+  // 1 Gbps), TCN sojourn threshold 240 us.
+  cfg.scheme.ecn.port_threshold_bytes = 30'000;
+  cfg.scheme.ecn.sojourn_threshold = microseconds(std::int64_t{240});
+  cfg.scheme.ecn.capacity_bps = 1e9;
+  cfg.scheme.ecn.rtt = microseconds(std::int64_t{500});
+  cfg.scheduler = topo::SchedulerKind::kDrr;
+  cfg.quantum_base = 1500;
+  return cfg;
+}
+
+// 10 Gbps rack simulation: Broadcom Trident+ (192 KB/port), 84 us base RTT.
+inline topo::StarConfig sim10g_star(core::SchemeKind kind, int num_hosts,
+                                    std::vector<double> weights) {
+  topo::StarConfig cfg;
+  cfg.num_hosts = num_hosts;
+  cfg.link_rate_bps = 10e9;
+  cfg.link_delay = microseconds(std::int64_t{21});
+  cfg.buffer_bytes = 192'000;
+  cfg.queue_weights = std::move(weights);
+  cfg.scheme.kind = kind;
+  cfg.scheme.ecn.port_threshold_bytes = 192'000 / 2;
+  cfg.scheme.ecn.capacity_bps = 10e9;
+  cfg.scheme.ecn.rtt = microseconds(std::int64_t{84});
+  cfg.scheduler = topo::SchedulerKind::kWrr;
+  cfg.quantum_base = 1500;
+  return cfg;
+}
+
+// 100 Gbps rack simulation: Broadcom Trident 3 (1 MB/port), 40 us base RTT,
+// jumbo frames.
+inline topo::StarConfig sim100g_star(core::SchemeKind kind, int num_hosts,
+                                     std::vector<double> weights) {
+  topo::StarConfig cfg;
+  cfg.num_hosts = num_hosts;
+  cfg.link_rate_bps = 100e9;
+  cfg.link_delay = microseconds(std::int64_t{10});
+  cfg.buffer_bytes = 1'000'000;
+  cfg.queue_weights = std::move(weights);
+  cfg.scheme.kind = kind;
+  cfg.scheme.ecn.capacity_bps = 100e9;
+  cfg.scheme.ecn.rtt = microseconds(std::int64_t{40});
+  cfg.scheduler = topo::SchedulerKind::kWrr;
+  cfg.quantum_base = 9000;
+  cfg.host_queue_bytes = 4'000'000;  // txqueuelen-scale at jumbo MTU
+  return cfg;
+}
+
+// Jain's fairness index over the throughput of queues active in window `w`.
+inline double active_jain(const stats::ThroughputMeter& meter, std::size_t w,
+                          const std::vector<bool>& active) {
+  std::vector<double> xs;
+  for (int q = 0; q < meter.num_queues(); ++q) {
+    if (active[static_cast<std::size_t>(q)]) xs.push_back(meter.gbps(w, q));
+  }
+  return stats::jain_index(xs);
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  return harness::Table::num(v, precision);
+}
+
+// Writes a numeric time series to `<dir>/<name>.csv` when `dir` is
+// non-empty (every fig bench exposes this via --csv <dir>).
+inline void maybe_write_csv(const std::string& dir, const std::string& name,
+                            const std::vector<std::string>& header,
+                            const std::vector<std::vector<double>>& rows) {
+  if (dir.empty()) return;
+  stats::CsvWriter csv(dir + "/" + name + ".csv");
+  if (!csv.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s/%s.csv\n", dir.c_str(), name.c_str());
+    return;
+  }
+  csv.header(header);
+  for (const auto& r : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const double v : r) cells.push_back(harness::Table::num(v, 6));
+    csv.row(cells);
+  }
+  std::printf("wrote %s/%s.csv\n", dir.c_str(), name.c_str());
+}
+
+}  // namespace dynaq::bench

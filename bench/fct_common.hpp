@@ -1,0 +1,103 @@
+// Shared driver for the FCT comparison figures (8, 9): the testbed's
+// client/server request workload on a star topology with SPQ(1)/DRR(4) and
+// two-level PIAS tagging, swept over traffic load.
+#pragma once
+
+#include <map>
+
+#include "bench/common.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq::bench {
+
+struct FctSweepConfig {
+  std::vector<core::SchemeKind> schemes;
+  std::vector<double> loads;          // fractions of client link capacity
+  std::size_t flows = 1000;
+  transport::CcKind default_cc = transport::CcKind::kNewReno;
+  transport::CcKind ecn_cc = transport::CcKind::kDctcp;  // for ECN schemes
+  std::uint64_t seed = 1;
+};
+
+using FctResults =
+    std::map<core::SchemeKind, std::map<double, stats::FctSummary>>;
+
+inline FctResults run_fct_sweep(const FctSweepConfig& sweep) {
+  FctResults results;
+  for (const auto kind : sweep.schemes) {
+    for (const double load : sweep.loads) {
+      harness::DynamicStarConfig cfg;
+      cfg.star = testbed_star(kind, /*num_hosts=*/5, {1, 1, 1, 1, 1});
+      cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
+      cfg.client_host = 0;
+      cfg.num_servers = 4;
+      cfg.num_flows = sweep.flows;
+      cfg.load = load;
+      cfg.dist = &workload::web_search_workload();
+      cfg.cc = core::scheme_uses_ecn(kind) ? sweep.ecn_cc : sweep.default_cc;
+      cfg.pias = true;
+      cfg.pias_threshold_bytes = 100'000;
+      cfg.first_service_queue = 1;
+      cfg.seed = sweep.seed;
+      const auto r = harness::run_dynamic_star_experiment(cfg);
+      if (r.incomplete > 0) {
+        std::fprintf(stderr, "warning: %zu flows incomplete (%s, load %.0f%%)\n", r.incomplete,
+                     std::string(core::scheme_name(kind)).c_str(), load * 100);
+      }
+      results[kind][load] = r.fcts.summarize();
+    }
+  }
+  return results;
+}
+
+// Prints one metric table: rows = schemes, columns = loads, values
+// normalized by the reference scheme (the paper normalizes by DynaQ).
+inline void print_fct_metric(const FctResults& results, core::SchemeKind reference,
+                             const std::vector<double>& loads, const char* title,
+                             double stats::FctSummary::*metric) {
+  std::printf("%s (normalized by %s; raw %s values in ms on the reference row)\n", title,
+              std::string(core::scheme_name(reference)).c_str(),
+              std::string(core::scheme_name(reference)).c_str());
+  std::vector<std::string> header{"scheme"};
+  for (const double l : loads) header.push_back(fmt(l * 100, 0) + "%");
+  harness::Table t(std::move(header));
+  for (const auto& [kind, by_load] : results) {
+    std::vector<std::string> row{std::string(core::scheme_name(kind))};
+    for (const double l : loads) {
+      const double ref = results.at(reference).at(l).*metric;
+      const double v = by_load.at(l).*metric;
+      if (kind == reference) {
+        row.push_back(fmt(v, 2) + "ms");
+      } else {
+        row.push_back(ref > 0 ? fmt(v / ref, 2) + "x" : "n/a");
+      }
+    }
+    t.row(std::move(row));
+  }
+  t.print();
+  std::puts("");
+}
+
+// Tidy CSV export of a whole sweep: one row per (scheme, load) with every
+// summary metric — ready for pandas/gnuplot.
+inline void write_fct_csv(const std::string& dir, const std::string& name,
+                          const FctResults& results) {
+  if (dir.empty()) return;
+  stats::CsvWriter csv(dir + "/" + name + ".csv");
+  if (!csv.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s/%s.csv\n", dir.c_str(), name.c_str());
+    return;
+  }
+  csv.header({"scheme", "load", "avg_overall_ms", "avg_small_ms", "avg_medium_ms",
+              "avg_large_ms", "p99_small_ms", "p99_overall_ms", "flows"});
+  for (const auto& [kind, by_load] : results) {
+    for (const auto& [load, s] : by_load) {
+      csv.row({std::string(core::scheme_name(kind)), fmt(load, 2), fmt(s.avg_overall_ms, 4),
+               fmt(s.avg_small_ms, 4), fmt(s.avg_medium_ms, 4), fmt(s.avg_large_ms, 4),
+               fmt(s.p99_small_ms, 4), fmt(s.p99_overall_ms, 4), std::to_string(s.count)});
+    }
+  }
+  std::printf("wrote %s/%s.csv\n", dir.c_str(), name.c_str());
+}
+
+}  // namespace dynaq::bench

@@ -1,0 +1,40 @@
+// Figure 12: robustness to traffic dynamics — 100 Gbps links where queue i
+// is fed by 2^(3+i) single-flow senders (16..2048, 4080 flows in total).
+#include "bench/highspeed_common.hpp"
+
+using namespace dynaq;
+
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
+  const bool series = cli.flag("series");
+  const auto csv_dir = cli.text("csv", "");
+  // Paper scale by default (16..2048 senders, 4080 flows) — the run is
+  // short enough; --reduced shrinks the counts 4x for quick smoke tests.
+  const int shift = cli.flag("reduced") ? 1 : 3;
+
+  std::puts("Figure 12 — 100Gbps links with many flows (queue i has 2^(3+i) senders)");
+  std::printf("(queue sender counts %d..%d)\n\n", 2 << shift, (2 << shift) << 7);
+
+  for (const auto kind : {core::SchemeKind::kBestEffort, core::SchemeKind::kPql,
+                          core::SchemeKind::kDynaQ}) {
+    bench::HighSpeedConfig cfg;
+    cfg.star = bench::sim100g_star(kind, /*num_hosts=*/1, std::vector<double>(8, 1.0));
+    for (int i = 1; i <= 8; ++i) cfg.senders_per_queue.push_back(1 << (shift + i));
+    cfg.mss = net::kJumboMss;
+    cfg.seed = seed;
+    const auto rows = bench::run_high_speed(std::move(cfg));
+    std::printf("--- %s ---\n", std::string(core::scheme_name(kind)).c_str());
+    if (series) bench::print_high_speed(rows);
+    std::vector<std::vector<double>> csv_rows;
+    for (const auto& row : rows) csv_rows.push_back({row.time_ms, row.jain, row.aggregate_gbps});
+    bench::maybe_write_csv(csv_dir, "fig12_" + std::string(core::scheme_name(kind)),
+                           {"time_ms", "jain", "aggregate_gbps"}, csv_rows);
+    bench::print_high_speed_summary(rows, 100.0);
+    std::puts("");
+  }
+  std::puts("paper shape: BestEffort fairness collapses (~0.24 for the first 200ms) and");
+  std::puts("briefly loses throughput at 300ms; PQL stays below ~94.5G after 500ms;");
+  std::puts("DynaQ is robust to the extreme flow counts");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro-benchmarks of the simulation substrate: event-loop throughput,
+// port serialization, and per-scheme enqueue/dequeue cost of the
+// multi-queue qdisc. These bound how large an experiment the simulator can
+// sustain (events/second) and show the relative software cost of each
+// buffer-management scheme's hot path.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/scheme.hpp"
+#include "net/multi_queue_qdisc.hpp"
+#include "net/schedulers.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dynaq;
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  // Self-rescheduling event chain: measures raw schedule+dispatch cost.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    const int n = 100'000;
+    int remaining = n;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_in(nanoseconds(10), tick);
+    };
+    sim.schedule_in(nanoseconds(10), tick);
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_EventLoopThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueFanout(benchmark::State& state) {
+  // Wide pending set: heap behaviour with many concurrent timers.
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::Rng rng(1);
+    for (int i = 0; i < width; ++i) {
+      sim.schedule_at(nanoseconds(rng.uniform_int(1, 1'000'000)), [] {});
+    }
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_EventQueueFanout)->Arg(1'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void bench_scheme(benchmark::State& state, core::SchemeKind kind) {
+  sim::Simulator sim;
+  core::SchemeSpec spec;
+  spec.kind = kind;
+  spec.ecn.port_threshold_bytes = 30'000;
+  spec.ecn.sojourn_threshold = microseconds(std::int64_t{240});
+  spec.ecn.capacity_bps = 1e9;
+  spec.ecn.rtt = microseconds(std::int64_t{500});
+  auto qd = core::make_mq_qdisc(sim, std::vector<double>(8, 1.0), 192'000, spec,
+                                std::make_unique<net::DrrScheduler>(1500));
+  sim::Rng rng(7);
+  int q = 0;
+  for (auto _ : state) {
+    net::Packet p = net::make_data_packet(1, 0, 1, 0, 1460);
+    p.queue = static_cast<std::uint8_t>(q);
+    p.set(net::kFlagEct);
+    benchmark::DoNotOptimize(qd->enqueue(std::move(p)));
+    if (qd->backlog_bytes() > 150'000) {
+      while (qd->backlog_bytes() > 50'000) benchmark::DoNotOptimize(qd->dequeue());
+    }
+    q = (q + 1) & 7;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_QdiscDynaQ(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kDynaQ); }
+void BM_QdiscDynaQEvict(benchmark::State& state) {
+  bench_scheme(state, core::SchemeKind::kDynaQEvict);
+}
+void BM_QdiscBestEffort(benchmark::State& state) {
+  bench_scheme(state, core::SchemeKind::kBestEffort);
+}
+void BM_QdiscPql(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kPql); }
+void BM_QdiscPmsb(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kPmsb); }
+void BM_QdiscMqEcn(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kMqEcn); }
+
+BENCHMARK(BM_QdiscDynaQ);
+BENCHMARK(BM_QdiscDynaQEvict);
+BENCHMARK(BM_QdiscBestEffort);
+BENCHMARK(BM_QdiscPql);
+BENCHMARK(BM_QdiscPmsb);
+BENCHMARK(BM_QdiscMqEcn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

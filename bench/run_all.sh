@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure, ablation and micro-benchmark.
+#
+#   bench/run_all.sh [build-dir] [output-dir] [--full]
+#
+# Text reports land in <output-dir>/<bench>.txt and machine-readable series
+# in <output-dir>/csv/. Pass --full for paper-scale parameters (the FCT and
+# leaf-spine sweeps then take tens of minutes).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+FULL_FLAG=""
+for arg in "$@"; do
+  [[ "$arg" == "--full" ]] && FULL_FLAG="--full"
+done
+
+mkdir -p "$OUT_DIR/csv"
+
+run() {
+  local bin="$1"
+  shift
+  local name
+  name="$(basename "$bin")"
+  echo "=== $name $* ==="
+  "$bin" "$@" | tee "$OUT_DIR/$name.txt"
+  echo
+}
+
+for fig in fig01_motivation fig02_workloads fig04_queue_evolution \
+           fig05_fair_sharing fig06_weights fig07_protocols; do
+  run "$BUILD_DIR/bench/$fig" $FULL_FLAG
+done
+for fig in fig03_convergence fig10_10g fig11_100g fig12_many_flows; do
+  run "$BUILD_DIR/bench/$fig" $FULL_FLAG --csv "$OUT_DIR/csv"
+done
+for fig in fig08_fct_non_ecn fig09_fct_ecn; do
+  run "$BUILD_DIR/bench/$fig" $FULL_FLAG --csv "$OUT_DIR/csv"
+done
+run "$BUILD_DIR/bench/fig13_leaf_spine" $FULL_FLAG
+
+for abl in abl_victim_selection abl_satisfaction abl_dt_baseline abl_eviction \
+           abl_tna_staleness abl_shared_pool abl_generic_ecn abl_delay_based; do
+  run "$BUILD_DIR/bench/$abl"
+done
+
+run "$BUILD_DIR/bench/micro_dynaq_ops"
+run "$BUILD_DIR/bench/micro_simulator"
+
+echo "all reports in $OUT_DIR/"

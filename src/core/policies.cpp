@@ -1,0 +1,111 @@
+#include "core/policies.hpp"
+
+#include <cmath>
+
+namespace dynaq::core {
+
+// ----------------------------------------------------------------- PQL --
+
+void PqlPolicy::attach(const net::MqState& state) {
+  quotas_.clear();
+  const double sum_w = state.total_weight();
+  for (const net::ServiceQueue& q : state.queues) {
+    quotas_.push_back(static_cast<std::int64_t>(
+        std::floor(static_cast<double>(state.buffer_bytes) * q.weight / sum_w)));
+  }
+}
+
+bool PqlPolicy::admit(const net::MqState& state, int q, const net::Packet& p) {
+  return state.queue(q).bytes + p.size <= quotas_[static_cast<std::size_t>(q)];
+}
+
+// ------------------------------------------------- Dynamic Threshold --
+
+bool DynamicThresholdPolicy::admit(const net::MqState& state, int q, const net::Packet& p) {
+  const double free_buffer =
+      pool_ != nullptr ? static_cast<double>(pool_->free_bytes())
+                       : static_cast<double>(state.buffer_bytes - state.port_bytes);
+  const auto threshold = static_cast<std::int64_t>(alpha_ * free_buffer);
+  return state.queue(q).bytes + p.size <= threshold;
+}
+
+// --------------------------------------------------------------- DynaQ --
+
+void DynaQPolicy::attach(const net::MqState& state) {
+  stale_qlen_.assign(state.queues.size(), 0);
+  DynaQConfig cfg;
+  cfg.buffer_bytes = state.buffer_bytes;
+  for (const net::ServiceQueue& q : state.queues) cfg.weights.push_back(q.weight);
+  cfg.victim = options_.victim;
+  cfg.satisfaction = options_.satisfaction;
+  cfg.bdp_bytes = options_.bdp_bytes;
+  cfg.loop_free_search = options_.loop_free_search;
+  cfg.strict = options_.strict;
+  controller_ = std::make_unique<DynaQController>(std::move(cfg));
+}
+
+bool DynaQPolicy::admit(const net::MqState& state, int q, const net::Packet& p) {
+  // Snapshot per-queue occupancies for the pure controller. M <= 8 on real
+  // switches, so a fixed-size stack buffer avoids allocation on this path.
+  // In TNA-emulation mode the snapshot is the stale deq_qdepth feedback
+  // instead of the live occupancy (§IV-A2).
+  std::int64_t occupancy[64];
+  const int m = state.num_queues();
+  if (options_.stale_queue_info) {
+    for (int i = 0; i < m; ++i) occupancy[i] = stale_qlen_[static_cast<std::size_t>(i)];
+  } else {
+    for (int i = 0; i < m; ++i) occupancy[i] = state.queue(i).bytes;
+  }
+
+  switch (controller_->on_arrival({occupancy, static_cast<std::size_t>(m)}, q, p.size)) {
+    case Verdict::kAdmit:
+      return true;
+    case Verdict::kAdjusted:
+      ++adjustments_;
+      return true;
+    case Verdict::kDrop:
+      return false;
+  }
+  return false;
+}
+
+void DynaQPolicy::on_dequeue(const net::MqState& state, int q, const net::Packet& p) {
+  (void)p;
+  // deq_qdepth: the queue's depth observed when a packet leaves it, which
+  // is what TNA's egress intrinsic metadata exposes to the feedback loop.
+  stale_qlen_[static_cast<std::size_t>(q)] = state.queue(q).bytes;
+}
+
+void DynaQPolicy::on_admit_aborted(const net::MqState& state, int q, const net::Packet& p) {
+  (void)state, (void)q, (void)p;
+  // The port's physical bound rejected the packet after we exchanged
+  // thresholds for it; give the buffer back to the victim.
+  controller_->undo_last_exchange();
+}
+
+std::vector<std::int64_t> DynaQPolicy::thresholds() const {
+  if (!controller_) return {};
+  return {controller_->thresholds().begin(), controller_->thresholds().end()};
+}
+
+// ------------------------------------------------------- DynaQ+Evict --
+
+int DynaQEvictPolicy::evict_candidate(const net::MqState& state, int q, const net::Packet& p) {
+  (void)p;
+  // Evict only from queues buffering beyond their guaranteed share: the
+  // victim with the largest q_i - S_i surplus gives back buffer it was
+  // only lent.
+  int best = -1;
+  std::int64_t best_surplus = 0;
+  for (int i = 0; i < state.num_queues(); ++i) {
+    if (i == q || state.queue(i).empty()) continue;
+    const std::int64_t surplus = state.queue(i).bytes - controller().satisfaction(i);
+    if (surplus > best_surplus) {
+      best = i;
+      best_surplus = surplus;
+    }
+  }
+  return best;
+}
+
+}  // namespace dynaq::core

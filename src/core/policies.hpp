@@ -1,0 +1,120 @@
+// Buffer-management policies: DynaQ and every baseline the paper compares
+// against or discusses in related work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dynaq_controller.hpp"
+#include "net/buffer_policy.hpp"
+#include "net/shared_memory.hpp"
+
+namespace dynaq::core {
+
+// Best-effort shared buffer (the "BestEffort" baseline): any queue may fill
+// the port buffer; admission is purely the physical bound, which the port
+// already enforces, so this policy always says yes.
+class BestEffortPolicy final : public net::BufferPolicy {
+ public:
+  bool admit(const net::MqState& state, int q, const net::Packet& p) override {
+    (void)state, (void)q, (void)p;
+    return true;
+  }
+  std::string_view name() const override { return "besteffort"; }
+};
+
+// Per-Queue Length limit (PQL): a static buffer quota B·w_i/Σw per queue.
+// Fair but not work-conserving — the paper's second baseline.
+class PqlPolicy final : public net::BufferPolicy {
+ public:
+  void attach(const net::MqState& state) override;
+  bool admit(const net::MqState& state, int q, const net::Packet& p) override;
+  std::vector<std::int64_t> thresholds() const override { return quotas_; }
+  std::string_view name() const override { return "pql"; }
+
+ private:
+  std::vector<std::int64_t> quotas_;
+};
+
+// Classic Dynamic Threshold (Choudhury & Hahne) applied per service queue:
+// T(t) = alpha · (B − Σq). Discussed in §II-C as insufficient for per-queue
+// fairness; implemented for the ablation bench.
+class DynamicThresholdPolicy final : public net::BufferPolicy {
+ public:
+  // With `pool` set, thresholds derive from the chip-wide free memory
+  // (T = alpha * pool free) instead of the port's free share — the
+  // shared-buffer switch configuration §II-C warns about.
+  explicit DynamicThresholdPolicy(double alpha = 1.0,
+                                  const net::SharedMemoryPool* pool = nullptr)
+      : alpha_(alpha), pool_(pool) {}
+  bool admit(const net::MqState& state, int q, const net::Packet& p) override;
+  std::string_view name() const override { return "dt"; }
+
+ private:
+  double alpha_;
+  const net::SharedMemoryPool* pool_;
+};
+
+// DynaQ: dynamic packet-dropping thresholds per Algorithm 1, delegating to
+// the pure DynaQController.
+class DynaQPolicy : public net::BufferPolicy {
+ public:
+  // The controller's weights/buffer are taken from the port state at
+  // attach() time; `options` carries the ablation knobs.
+  struct Options {
+    VictimSelection victim = VictimSelection::kLargestExtra;
+    SatisfactionRule satisfaction = SatisfactionRule::kBufferShare;
+    std::int64_t bdp_bytes = 0;
+    bool loop_free_search = true;
+    bool strict = true;  // threshold-enforced admission; see DynaQConfig
+    // Tofino/TNA emulation (§IV-A2 of the paper): the ingress pipeline
+    // cannot read live queue depths; it sees the `deq_qdepth` of the last
+    // dequeued packet, fed back through an extern register. With this set,
+    // Algorithm 1 runs on those stale per-queue lengths instead of the
+    // true occupancy — the abl_tna_staleness bench quantifies the paper's
+    // claim that the inaccuracy is tolerable under round-robin scheduling.
+    bool stale_queue_info = false;
+  };
+
+  DynaQPolicy() = default;
+  explicit DynaQPolicy(Options options) : options_(options) {}
+
+  void attach(const net::MqState& state) override;
+  bool admit(const net::MqState& state, int q, const net::Packet& p) override;
+  void on_admit_aborted(const net::MqState& state, int q, const net::Packet& p) override;
+  // §III-B3: re-initialize all thresholds from the new B via Eq. (1).
+  void on_buffer_resize(const net::MqState& state) override {
+    controller_->reinitialize(state.buffer_bytes);
+  }
+  // TNA emulation: record deq_qdepth at dequeue time.
+  void on_dequeue(const net::MqState& state, int q, const net::Packet& p) override;
+  std::vector<std::int64_t> thresholds() const override;
+  std::string_view name() const override { return "dynaq"; }
+
+  const DynaQController& controller() const { return *controller_; }
+  DynaQController& controller() { return *controller_; }
+  std::uint64_t threshold_adjustments() const { return adjustments_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<DynaQController> controller_;
+  std::uint64_t adjustments_ = 0;
+  std::vector<std::int64_t> stale_qlen_;  // last deq_qdepth per queue (TNA mode)
+};
+
+// DynaQ with packet eviction (extension; the BarberQ idea from the paper's
+// related work): when an admitted packet does not physically fit because
+// other queues pinned the port full, evict a tail packet from the active
+// queue holding the most buffer beyond its satisfaction threshold.
+// Removes the port-full starvation races that tail small-flow FCTs under
+// plain DynaQ (see bench/abl_eviction).
+class DynaQEvictPolicy final : public DynaQPolicy {
+ public:
+  DynaQEvictPolicy() = default;
+  explicit DynaQEvictPolicy(Options options) : DynaQPolicy(options) {}
+
+  int evict_candidate(const net::MqState& state, int q, const net::Packet& p) override;
+  std::string_view name() const override { return "dynaq+evict"; }
+};
+
+}  // namespace dynaq::core

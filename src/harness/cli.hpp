@@ -1,0 +1,74 @@
+// Minimal command-line flag parsing for bench/example binaries:
+// --name=value, --name value, and boolean --name.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynaq::harness {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!arg.starts_with("--")) continue;
+      arg.remove_prefix(2);
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        values_[std::string(arg)] = argv[++i];
+      } else {
+        values_[std::string(arg)] = "true";
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.contains(name); }
+
+  bool flag(const std::string& name, bool fallback = false) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  std::int64_t integer(const std::string& name, std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double real(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  std::string text(const std::string& name, std::string fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? std::move(fallback) : it->second;
+  }
+
+  // Comma-separated list of doubles, e.g. --loads=0.3,0.5,0.8.
+  std::vector<double> reals(const std::string& name, std::vector<double> fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    std::vector<double> out;
+    std::size_t pos = 0;
+    const std::string& s = it->second;
+    while (pos < s.size()) {
+      std::size_t next = s.find(',', pos);
+      if (next == std::string::npos) next = s.size();
+      out.push_back(std::strtod(s.substr(pos, next - pos).c_str(), nullptr));
+      pos = next + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dynaq::harness

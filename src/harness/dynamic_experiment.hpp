@@ -1,0 +1,77 @@
+// Dynamic-flow experiments: open-loop Poisson request workloads with FCT
+// collection — the setup behind Figs. 8, 9 (testbed star) and 13
+// (leaf-spine fabric).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/fct_recorder.hpp"
+#include "topo/leaf_spine.hpp"
+#include "topo/star.hpp"
+#include "transport/flow.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq::harness {
+
+// Fig. 8/9 scenario: `num_servers` servers send Poisson-arriving responses
+// (sizes from `dist`) to one client over a star; the client downlink is the
+// bottleneck whose load is swept. Each flow lands on a uniformly random
+// dedicated service queue, with PIAS promoting its first 100 KB to the
+// strict-priority queue when enabled.
+struct DynamicStarConfig {
+  topo::StarConfig star;
+  int client_host = 0;
+  int num_servers = 4;
+  std::size_t num_flows = 2000;
+  double load = 0.5;  // fraction of the client link capacity
+  const workload::FlowSizeDistribution* dist = nullptr;
+  transport::CcKind cc = transport::CcKind::kNewReno;
+  bool pias = true;
+  std::int64_t pias_threshold_bytes = 100'000;
+  int pias_high_queue = 0;
+  int first_service_queue = 1;  // dedicated queues [first, num_queues)
+  std::int32_t mss = net::kDefaultMss;
+  Time rto_min = milliseconds(std::int64_t{10});
+  double initial_cwnd_packets = 10.0;
+  // Persistent-connection RTT seeding; 0 derives ~the base RTT from the
+  // topology's link delay (pass a negative value for cold connections).
+  Time initial_srtt = 0;
+  std::uint64_t seed = 1;
+  Time max_sim_time = seconds(std::int64_t{3600});
+};
+
+struct DynamicExperimentResult {
+  stats::FctRecorder fcts;
+  std::size_t incomplete = 0;  // flows unfinished at max_sim_time (should be 0)
+  std::uint64_t events = 0;
+  std::uint64_t drops = 0;   // at measured bottleneck qdisc(s)
+  std::uint64_t marks = 0;
+  net::MqStats bottleneck;   // star: the client downlink port (leaf-spine: unset)
+};
+
+DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& config);
+
+// Fig. 13 scenario: all-to-all Poisson traffic over the leaf-spine fabric,
+// `num_services` services on dedicated DRR queues (1..7), each service
+// drawing sizes from its own workload distribution (cycled through the four
+// production CDFs), PIAS promoting small flows to the shared SPQ queue.
+struct DynamicLeafSpineConfig {
+  topo::LeafSpineConfig fabric;
+  std::size_t num_flows = 2000;
+  double load = 0.5;  // fraction of per-host access capacity
+  int num_services = 7;
+  transport::CcKind cc = transport::CcKind::kNewReno;
+  bool pias = true;
+  std::int64_t pias_threshold_bytes = 100'000;
+  std::int32_t mss = net::kDefaultMss;
+  Time rto_min = milliseconds(std::int64_t{5});
+  double initial_cwnd_packets = 10.0;
+  Time initial_srtt = 0;  // see DynamicStarConfig
+  std::uint64_t seed = 1;
+  Time max_sim_time = seconds(std::int64_t{3600});
+};
+
+DynamicExperimentResult run_dynamic_leaf_spine_experiment(const DynamicLeafSpineConfig& config);
+
+}  // namespace dynaq::harness

@@ -1,0 +1,83 @@
+#include "harness/static_experiment.hpp"
+
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "transport/host_agent.hpp"
+
+namespace dynaq::harness {
+
+StaticExperimentResult run_static_experiment(const StaticExperimentConfig& config) {
+  sim::Simulator sim;
+  sim::Rng rng(config.seed);
+  topo::StarTopology topo(sim, config.star);
+
+  const int num_queues = static_cast<int>(config.star.queue_weights.size());
+  StaticExperimentResult result{
+      stats::ThroughputMeter(num_queues, config.meter_window), {}, {}, 0};
+
+  net::MultiQueueQdisc& bottleneck = topo.port_qdisc(config.receiver_host);
+  bottleneck.on_dequeue_hook = [&result](int q, const net::Packet& p, Time now) {
+    if (!p.is_ack()) result.meter.record(q, p.size, now);
+  };
+
+  stats::QueueLengthSampler sampler(config.queue_samples, config.queue_sample_skip);
+  if (config.queue_samples > 0) {
+    bottleneck.on_op_hook = [&sampler, &bottleneck](const net::MqState& state, Time now) {
+      std::vector<std::int64_t> occupancy;
+      occupancy.reserve(state.queues.size());
+      for (const net::ServiceQueue& q : state.queues) occupancy.push_back(q.bytes);
+      sampler.record(now, std::move(occupancy), bottleneck.policy().thresholds());
+    };
+  }
+
+  std::uint32_t next_flow_id = 1;
+  std::vector<const transport::FlowSender*> senders;
+  for (const SenderGroup& group : config.groups) {
+    if (group.queue < 0 || group.queue >= num_queues) {
+      throw std::invalid_argument("sender group references unknown queue");
+    }
+    for (int f = 0; f < group.num_flows; ++f) {
+      const int src = group.first_src_host + (f % group.num_src_hosts);
+      transport::FlowParams params;
+      params.id = next_flow_id++;
+      params.src_host = src;
+      params.dst_host = config.receiver_host;
+      params.size_bytes = 0;  // unbounded
+      params.start = group.start +
+                     (config.start_jitter > 0
+                          ? static_cast<Time>(rng.uniform() *
+                                              static_cast<double>(config.start_jitter))
+                          : 0);
+      params.stop = group.stop > 0 ? group.stop : config.duration;
+      params.service_queue = group.queue;
+      params.cc = group.cc;
+      params.mss = config.mss;
+      params.initial_cwnd_packets = config.initial_cwnd_packets;
+      params.rto_min = config.rto_min;
+
+      topo.agent(config.receiver_host).add_receiver(params);
+      transport::FlowSender& sender = topo.agent(src).add_sender(params);
+      senders.push_back(&sender);
+      sender.start();
+    }
+  }
+
+  sim.run_until(config.duration);
+  for (const transport::FlowSender* s : senders) {
+    result.sender_totals.data_packets += s->stats().data_packets;
+    result.sender_totals.retransmissions += s->stats().retransmissions;
+    result.sender_totals.partial_ack_retx += s->stats().partial_ack_retx;
+    result.sender_totals.goback_retx += s->stats().goback_retx;
+    result.sender_totals.fast_retransmits += s->stats().fast_retransmits;
+    result.sender_totals.timeouts += s->stats().timeouts;
+    result.sender_totals.bytes_sent += s->stats().bytes_sent;
+  }
+  result.queue_samples = sampler.samples();
+  result.bottleneck_stats = bottleneck.stats();
+  result.events = sim.events_processed();
+  return result;
+}
+
+}  // namespace dynaq::harness

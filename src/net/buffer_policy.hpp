@@ -1,0 +1,70 @@
+// Buffer-management policy interface: decides packet admission into a
+// shared multi-queue port buffer. DynaQ and all compared schemes
+// (BestEffort, PQL, classic Dynamic Threshold) implement this interface.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/mq_state.hpp"
+#include "net/packet.hpp"
+
+namespace dynaq::net {
+
+class BufferPolicy {
+ public:
+  virtual ~BufferPolicy() = default;
+
+  // Called once when installed on a port, before any traffic.
+  virtual void attach(const MqState& state) { (void)state; }
+
+  // Admission decision for packet `p` destined to service queue `q`.
+  // Policies may mutate their internal thresholds here (DynaQ does), but
+  // must not touch the queues themselves. Returning true means the policy
+  // allows the enqueue; the port additionally enforces the physical buffer
+  // bound `port_bytes + size <= B`.
+  virtual bool admit(const MqState& state, int q, const Packet& p) = 0;
+
+  // Called when the policy admitted packet `p` but the port's physical
+  // buffer bound rejected it anyway: any state mutated by admit() (e.g.
+  // DynaQ's threshold exchange) must be rolled back so thresholds cannot
+  // drift without packets actually entering the buffer.
+  virtual void on_admit_aborted(const MqState& state, int q, const Packet& p) {
+    (void)state, (void)q, (void)p;
+  }
+
+  // Eviction support (the BarberQ technique the paper's related work
+  // discusses): when the policy admitted packet `p` but the port is
+  // physically full, the qdisc asks for a queue to evict a buffered tail
+  // packet from. Return -1 (default) to decline — the packet is then
+  // dropped (after on_admit_aborted). The qdisc may call this repeatedly
+  // until the arrival fits; implementations must only name non-empty
+  // queues other than `q`.
+  virtual int evict_candidate(const MqState& state, int q, const Packet& p) {
+    (void)state, (void)q, (void)p;
+    return -1;
+  }
+
+  // Called when the operator resizes the port buffer at runtime
+  // (§III-B3): policies must re-derive their thresholds from the new B
+  // (DynaQ re-initializes via Eq. 1). `state.buffer_bytes` already holds
+  // the new size. Default: re-run attach().
+  virtual void on_buffer_resize(const MqState& state) { attach(state); }
+
+  // Notification hooks for policies that track occupancy-derived state.
+  virtual void on_enqueue(const MqState& state, int q, const Packet& p) {
+    (void)state, (void)q, (void)p;
+  }
+  virtual void on_dequeue(const MqState& state, int q, const Packet& p) {
+    (void)state, (void)q, (void)p;
+  }
+
+  // Current per-queue drop thresholds for introspection/plotting; empty if
+  // the policy has no such notion (e.g. BestEffort).
+  virtual std::vector<std::int64_t> thresholds() const { return {}; }
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace dynaq::net

@@ -1,0 +1,37 @@
+// ECN marking policy interface. Markers only decide *whether* to set CE;
+// the multi-queue qdisc applies the mark to ECN-capable packets.
+#pragma once
+
+#include <string_view>
+
+#include "net/mq_state.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace dynaq::net {
+
+class EcnMarker {
+ public:
+  virtual ~EcnMarker() = default;
+
+  virtual void attach(const MqState& state) { (void)state; }
+
+  // Enqueue-time marking (DCTCP-style instantaneous queue marking, PMSB,
+  // MQ-ECN). Invoked after the admission decision, before the packet is
+  // appended; `state` reflects occupancy *without* packet `p`.
+  virtual bool mark_on_enqueue(const MqState& state, int q, const Packet& p) {
+    (void)state, (void)q, (void)p;
+    return false;
+  }
+
+  // Dequeue-time marking (TCN sojourn-time marking). `sojourn` is the time
+  // the packet spent buffered.
+  virtual bool mark_on_dequeue(const MqState& state, int q, const Packet& p, Time sojourn) {
+    (void)state, (void)q, (void)p, (void)sojourn;
+    return false;
+  }
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace dynaq::net

@@ -1,0 +1,82 @@
+// Fault-injection queue disciplines for tests and experiments: wrap any
+// link with deterministic or random loss without touching the component
+// under test.
+#pragma once
+
+#include <set>
+
+#include "net/queue_disc.hpp"
+#include "sim/random.hpp"
+
+namespace dynaq::net {
+
+// Drops the data packets whose arrival ordinals (0-based, ACKs excluded)
+// are listed — precise loss placement for retransmission-path tests.
+class DeterministicLossQueue final : public QueueDisc {
+ public:
+  explicit DeterministicLossQueue(std::set<std::uint64_t> drop_ordinals,
+                                  std::int64_t capacity_bytes = 0)
+      : drops_(std::move(drop_ordinals)), inner_(capacity_bytes) {}
+
+  bool enqueue(Packet&& p) override {
+    if (!p.is_ack() && drops_.erase(data_seen_++) > 0) {
+      ++injected_;
+      return false;
+    }
+    return inner_.enqueue(std::move(p));
+  }
+  std::optional<Packet> dequeue() override { return inner_.dequeue(); }
+  bool empty() const override { return inner_.empty(); }
+  std::int64_t backlog_bytes() const override { return inner_.backlog_bytes(); }
+  std::uint64_t injected_losses() const { return injected_; }
+
+ private:
+  std::set<std::uint64_t> drops_;
+  std::uint64_t data_seen_ = 0;
+  std::uint64_t injected_ = 0;
+  DropTailQueue inner_;
+};
+
+// Drops each data packet independently with probability `loss_rate` —
+// random-loss soak tests (a lossy cable, an overloaded middlebox).
+class BernoulliLossQueue final : public QueueDisc {
+ public:
+  BernoulliLossQueue(double loss_rate, std::uint64_t seed, std::int64_t capacity_bytes = 0)
+      : loss_rate_(loss_rate), rng_(seed), inner_(capacity_bytes) {}
+
+  bool enqueue(Packet&& p) override {
+    if (!p.is_ack() && rng_.uniform() < loss_rate_) {
+      ++injected_;
+      return false;
+    }
+    return inner_.enqueue(std::move(p));
+  }
+  std::optional<Packet> dequeue() override { return inner_.dequeue(); }
+  bool empty() const override { return inner_.empty(); }
+  std::int64_t backlog_bytes() const override { return inner_.backlog_bytes(); }
+  std::uint64_t injected_losses() const { return injected_; }
+
+ private:
+  double loss_rate_;
+  sim::Rng rng_;
+  std::uint64_t injected_ = 0;
+  DropTailQueue inner_;
+};
+
+// Sets CE on every ECN-capable data packet — a fully congested marking hop
+// for DCTCP feedback tests.
+class CeMarkAllQueue final : public QueueDisc {
+ public:
+  bool enqueue(Packet&& p) override {
+    if (!p.is_ack() && p.has(kFlagEct)) p.set(kFlagCe);
+    return inner_.enqueue(std::move(p));
+  }
+  std::optional<Packet> dequeue() override { return inner_.dequeue(); }
+  bool empty() const override { return inner_.empty(); }
+  std::int64_t backlog_bytes() const override { return inner_.backlog_bytes(); }
+
+ private:
+  DropTailQueue inner_;
+};
+
+}  // namespace dynaq::net

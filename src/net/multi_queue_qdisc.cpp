@@ -1,0 +1,130 @@
+#include "net/multi_queue_qdisc.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dynaq::net {
+
+MultiQueueQdisc::MultiQueueQdisc(sim::Simulator& sim, std::vector<double> weights,
+                                 std::int64_t buffer_bytes,
+                                 std::unique_ptr<BufferPolicy> policy,
+                                 std::unique_ptr<SchedulerPolicy> scheduler,
+                                 std::unique_ptr<EcnMarker> marker)
+    : sim_(sim),
+      policy_(std::move(policy)),
+      scheduler_(std::move(scheduler)),
+      marker_(std::move(marker)) {
+  if (weights.empty()) throw std::invalid_argument("MultiQueueQdisc needs >= 1 queue");
+  if (buffer_bytes <= 0) throw std::invalid_argument("buffer size must be positive");
+  state_.queues.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) throw std::invalid_argument("queue weights must be positive");
+    state_.queues[i].weight = weights[i];
+  }
+  state_.buffer_bytes = buffer_bytes;
+  stats_.dropped_per_queue.assign(weights.size(), 0);
+  stats_.dropped_port_full_per_queue.assign(weights.size(), 0);
+  stats_.enqueued_per_queue.assign(weights.size(), 0);
+  policy_->attach(state_);
+  scheduler_->attach(state_);
+  if (marker_) marker_->attach(state_);
+}
+
+bool MultiQueueQdisc::enqueue(Packet&& p) {
+  const int q = p.queue < state_.queues.size() ? p.queue : state_.num_queues() - 1;
+
+  // The buffer-management policy decides admission (DynaQ adjusts its
+  // thresholds inside admit()); the physical port-buffer bound — and the
+  // chip-wide pool, when attached — acts as a safety net on top. Under
+  // DynaQ's threshold-enforced semantics the physical check binds only in
+  // the rare transient where a victimized queue sits above its reduced
+  // threshold (see DESIGN.md §4).
+  const bool policy_ok = policy_->admit(state_, q, p);
+  bool fits = state_.port_bytes + p.size <= state_.buffer_bytes &&
+              (pool_ == nullptr || pool_->free_bytes() >= p.size);
+
+  // Eviction (BarberQ-style): an admitted arrival that does not physically
+  // fit may displace buffered tail packets of queues the policy names.
+  while (policy_ok && !fits) {
+    const int victim = policy_->evict_candidate(state_, q, p);
+    if (victim < 0 || victim == q) break;
+    ServiceQueue& vq = state_.queue(victim);
+    if (vq.empty()) break;
+    Packet evicted = std::move(vq.packets.back());
+    vq.packets.pop_back();
+    vq.bytes -= evicted.size;
+    state_.port_bytes -= evicted.size;
+    if (pool_ != nullptr) pool_->release(evicted.size);
+    ++stats_.evicted;
+    policy_->on_dequeue(state_, victim, evicted);
+    if (on_drop_hook) on_drop_hook(victim, evicted, sim_.now());
+    fits = state_.port_bytes + p.size <= state_.buffer_bytes &&
+           (pool_ == nullptr || pool_->free_bytes() >= p.size);
+  }
+
+  if (policy_ok && !fits) policy_->on_admit_aborted(state_, q, p);
+  if (!policy_ok || !fits) {
+    ++stats_.dropped;
+    ++stats_.dropped_per_queue[static_cast<std::size_t>(q)];
+    if (!policy_ok) {
+      ++stats_.dropped_by_policy;
+    } else {
+      ++stats_.dropped_port_full;
+      ++stats_.dropped_port_full_per_queue[static_cast<std::size_t>(q)];
+    }
+    if (on_drop_hook) on_drop_hook(q, p, sim_.now());
+    if (on_op_hook) on_op_hook(state_, sim_.now());
+    return false;
+  }
+
+  if (marker_ && p.has(kFlagEct) && marker_->mark_on_enqueue(state_, q, p)) {
+    p.set(kFlagCe);
+    ++stats_.marked;
+  }
+
+  p.enqueued_at = sim_.now();
+  if (pool_ != nullptr) pool_->reserve(p.size);
+  state_.port_bytes += p.size;
+  ServiceQueue& sq = state_.queue(q);
+  sq.bytes += p.size;
+  sq.packets.push_back(std::move(p));
+  ++stats_.enqueued;
+  ++stats_.enqueued_per_queue[static_cast<std::size_t>(q)];
+  policy_->on_enqueue(state_, q, sq.packets.back());
+  scheduler_->on_enqueue(state_, q);
+  if (on_op_hook) on_op_hook(state_, sim_.now());
+  return true;
+}
+
+void MultiQueueQdisc::resize_buffer(std::int64_t buffer_bytes) {
+  if (buffer_bytes <= 0) throw std::invalid_argument("buffer size must be positive");
+  state_.buffer_bytes = buffer_bytes;
+  policy_->on_buffer_resize(state_);
+}
+
+std::optional<Packet> MultiQueueQdisc::dequeue() {
+  // Eviction can empty a queue behind the scheduler's back; skip such
+  // stale picks rather than dereferencing an empty queue.
+  int q = scheduler_->next_queue(state_);
+  while (q >= 0 && state_.queue(q).empty()) q = scheduler_->next_queue(state_);
+  if (q < 0) return std::nullopt;
+  ServiceQueue& sq = state_.queue(q);
+  Packet p = std::move(sq.packets.front());
+  sq.packets.pop_front();
+  sq.bytes -= p.size;
+  state_.port_bytes -= p.size;
+  if (pool_ != nullptr) pool_->release(p.size);
+  policy_->on_dequeue(state_, q, p);
+  if (marker_ && p.has(kFlagEct)) {
+    const Time sojourn = sim_.now() - p.enqueued_at;
+    if (marker_->mark_on_dequeue(state_, q, p, sojourn)) {
+      p.set(kFlagCe);
+      ++stats_.marked;
+    }
+  }
+  if (on_dequeue_hook) on_dequeue_hook(q, p, sim_.now());
+  if (on_op_hook) on_op_hook(state_, sim_.now());
+  return p;
+}
+
+}  // namespace dynaq::net

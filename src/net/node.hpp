@@ -1,0 +1,93 @@
+// Network nodes: end hosts and switches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/port.hpp"
+#include "sim/simulator.hpp"
+
+namespace dynaq::net {
+
+// An end host with a single NIC port. The transport layer registers a
+// packet handler; the net layer itself is protocol-agnostic (the whole
+// point of DynaQ).
+class Host {
+ public:
+  Host(sim::Simulator& sim, int id, std::unique_ptr<Port> nic)
+      : sim_(sim), id_(id), nic_(std::move(nic)) {
+    nic_->set_receiver([this](Packet&& p) {
+      if (handler_) handler_(std::move(p));
+    });
+  }
+
+  int id() const { return id_; }
+  Port& nic() { return *nic_; }
+  const Port& nic() const { return *nic_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  void set_packet_handler(std::function<void(Packet&&)> handler) {
+    handler_ = std::move(handler);
+  }
+
+  // Transmits `p` out of the NIC. Returns false if the NIC queue dropped it
+  // (practically never happens with the default unlimited host queue).
+  bool send(Packet&& p) { return nic_->send(std::move(p)); }
+
+ private:
+  sim::Simulator& sim_;
+  int id_;
+  std::unique_ptr<Port> nic_;
+  std::function<void(Packet&&)> handler_;
+};
+
+// An output-queued switch: arriving packets are routed to an egress port
+// and enqueued there. Routing is a pluggable function so topologies can
+// implement static star forwarding or ECMP hashing.
+class Switch {
+ public:
+  Switch(sim::Simulator& sim, int id) : sim_(sim), id_(id) {}
+
+  int id() const { return id_; }
+
+  // Adds an egress port; returns its index. The port's receiver is wired to
+  // this switch's forwarding path.
+  int add_port(std::unique_ptr<Port> port) {
+    port->set_receiver([this](Packet&& p) { forward(std::move(p)); });
+    ports_.push_back(std::move(port));
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  Port& port(int i) { return *ports_[static_cast<std::size_t>(i)]; }
+  const Port& port(int i) const { return *ports_[static_cast<std::size_t>(i)]; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  // `router(packet) -> egress port index`; returning a negative index
+  // blackholes the packet (counted in routing_drops()).
+  void set_router(std::function<int(const Packet&)> router) { router_ = std::move(router); }
+
+  void forward(Packet&& p) {
+    const int out = router_ ? router_(p) : -1;
+    if (out < 0 || out >= num_ports()) {
+      ++routing_drops_;
+      return;
+    }
+    ports_[static_cast<std::size_t>(out)]->send(std::move(p));
+  }
+
+  std::uint64_t routing_drops() const { return routing_drops_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  int id_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::function<int(const Packet&)> router_;
+  std::uint64_t routing_drops_ = 0;
+};
+
+}  // namespace dynaq::net

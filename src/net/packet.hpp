@@ -1,0 +1,84 @@
+// Packet model.
+//
+// Packets are small value types; the simulator moves them between
+// components rather than reference-counting buffers. Sizes are in bytes on
+// the wire (payload + 40 B TCP/IP header).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace dynaq::net {
+
+inline constexpr std::int32_t kHeaderBytes = 40;
+inline constexpr std::int32_t kAckBytes = kHeaderBytes;
+inline constexpr std::int32_t kDefaultMss = 1460;       // standard Ethernet
+inline constexpr std::int32_t kJumboMss = 8960;         // 9000 B jumbo frames
+
+enum PacketFlags : std::uint16_t {
+  kFlagAck = 1u << 0,
+  kFlagSyn = 1u << 1,
+  kFlagFin = 1u << 2,   // set on the segment carrying the last flow byte
+  kFlagEct = 1u << 3,   // ECN-capable transport
+  kFlagCe = 1u << 4,    // congestion experienced (set by switches)
+  kFlagEce = 1u << 5,   // ECN echo (set by receivers on ACKs)
+  kFlagRetx = 1u << 6,  // retransmission (diagnostics only)
+};
+
+// A SACK block: received bytes [start, end) above the cumulative ACK.
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+inline constexpr int kMaxSackBlocks = 3;  // fits a standard TCP option space
+
+struct Packet {
+  std::uint32_t flow = 0;       // globally unique flow id
+  std::uint32_t src = 0;        // source host id
+  std::uint32_t dst = 0;        // destination host id
+  std::int32_t size = 0;        // bytes on the wire
+  std::int32_t payload = 0;     // application bytes carried
+  std::uint64_t seq = 0;        // first payload byte (data) / next expected (ACK)
+  std::uint16_t flags = 0;
+  std::uint8_t queue = 0;       // service queue (DSCP class) at switch ports
+  std::uint8_t num_sack = 0;    // valid entries in sack[] (ACKs only)
+  SackBlock sack[kMaxSackBlocks];
+  Time enqueued_at = 0;         // stamped by the multi-queue qdisc (sojourn time)
+
+  bool has(PacketFlags f) const { return (flags & f) != 0; }
+  void set(PacketFlags f) { flags = static_cast<std::uint16_t>(flags | f); }
+  void clear(PacketFlags f) { flags = static_cast<std::uint16_t>(flags & ~f); }
+  bool is_ack() const { return has(kFlagAck); }
+};
+
+// Builds a data segment for `flow` carrying `payload` bytes starting at
+// byte offset `seq`.
+inline Packet make_data_packet(std::uint32_t flow, std::uint32_t src, std::uint32_t dst,
+                               std::uint64_t seq, std::int32_t payload) {
+  Packet p;
+  p.flow = flow;
+  p.src = src;
+  p.dst = dst;
+  p.seq = seq;
+  p.payload = payload;
+  p.size = payload + kHeaderBytes;
+  return p;
+}
+
+// Builds a (cumulative) ACK for `flow`, acknowledging everything before
+// `ack_seq`.
+inline Packet make_ack_packet(std::uint32_t flow, std::uint32_t src, std::uint32_t dst,
+                              std::uint64_t ack_seq) {
+  Packet p;
+  p.flow = flow;
+  p.src = src;
+  p.dst = dst;
+  p.seq = ack_seq;
+  p.size = kAckBytes;
+  p.set(kFlagAck);
+  return p;
+}
+
+}  // namespace dynaq::net

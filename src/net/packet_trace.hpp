@@ -1,0 +1,69 @@
+// Packet-level tracing: attach to ports and record transmit/deliver events
+// (optionally filtered by flow) for debugging and for verifying wire-level
+// behaviour in tests — the simulator's tcpdump.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/port.hpp"
+#include "sim/simulator.hpp"
+
+namespace dynaq::net {
+
+struct TraceEvent {
+  Time when = 0;
+  std::string point;   // label of the observation point ("h1.nic", "sw.p0")
+  bool transmit = false;  // true: serialization started; false: delivered
+  std::uint32_t flow = 0;
+  std::uint64_t seq = 0;
+  std::int32_t size = 0;
+  std::uint8_t queue = 0;
+  bool is_ack = false;
+  bool retx = false;
+  bool ce = false;
+};
+
+class PacketTracer {
+ public:
+  explicit PacketTracer(sim::Simulator& sim) : sim_(sim) {}
+
+  // Restrict recording to one flow id (0 = record everything).
+  void filter_flow(std::uint32_t flow) { flow_filter_ = flow; }
+
+  // Observes both directions of `port` under the given label. The tracer
+  // must outlive the port's traffic.
+  void attach(Port& port, std::string label) {
+    port.on_transmit_start = [this, label](const Packet& p) { record(p, label, true); };
+    port.on_deliver = [this, label](const Packet& p) { record(p, label, false); };
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // Human-readable dump, one line per event.
+  void print(std::ostream& os) const {
+    for (const TraceEvent& e : events_) {
+      os << to_microseconds(e.when) << "us " << e.point << (e.transmit ? " tx " : " rx ")
+         << (e.is_ack ? "ACK " : "DATA ") << "flow=" << e.flow << " seq=" << e.seq
+         << " size=" << e.size << " q=" << static_cast<int>(e.queue)
+         << (e.retx ? " RETX" : "") << (e.ce ? " CE" : "") << '\n';
+    }
+  }
+
+ private:
+  void record(const Packet& p, const std::string& label, bool transmit) {
+    if (flow_filter_ != 0 && p.flow != flow_filter_) return;
+    events_.push_back(TraceEvent{sim_.now(), label, transmit, p.flow, p.seq, p.size, p.queue,
+                                 p.is_ack(), p.has(kFlagRetx), p.has(kFlagCe)});
+  }
+
+  sim::Simulator& sim_;
+  std::uint32_t flow_filter_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dynaq::net

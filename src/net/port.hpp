@@ -1,0 +1,102 @@
+// A unidirectional-transmit network port: a queue discipline feeding a
+// serializing transmitter connected to a peer port over a propagation-delay
+// channel. Two ports connected back-to-back form a full-duplex link.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "net/queue_disc.hpp"
+#include "sim/simulator.hpp"
+
+namespace dynaq::net {
+
+class Port {
+ public:
+  Port(sim::Simulator& sim, double rate_bps, Time propagation_delay,
+       std::unique_ptr<QueueDisc> qdisc)
+      : sim_(sim),
+        rate_bps_(rate_bps),
+        prop_delay_(propagation_delay),
+        qdisc_(std::move(qdisc)) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  // Sets the port at the other end of the wire. Must be called on both
+  // ports (see connect()).
+  void set_peer(Port* peer) { peer_ = peer; }
+
+  // Handler invoked at the owning node when a packet arrives from the wire.
+  void set_receiver(std::function<void(Packet&&)> receiver) { receiver_ = std::move(receiver); }
+
+  // Queues `p` for transmission, kicking the transmitter if idle. Returns
+  // false when the queue discipline dropped the packet.
+  bool send(Packet&& p) {
+    const bool queued = qdisc_->enqueue(std::move(p));
+    if (!transmitting_) start_transmission();
+    return queued;
+  }
+
+  QueueDisc& qdisc() { return *qdisc_; }
+  const QueueDisc& qdisc() const { return *qdisc_; }
+  double rate_bps() const { return rate_bps_; }
+  Time propagation_delay() const { return prop_delay_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  bool busy() const { return transmitting_; }
+
+  // Called by the peer's transmitter after the propagation delay.
+  void deliver(Packet&& p) {
+    if (on_deliver) on_deliver(p);
+    if (receiver_) receiver_(std::move(p));
+  }
+
+  // Observability hooks (packet tracing); invoked synchronously with the
+  // packet still intact.
+  std::function<void(const Packet&)> on_transmit_start;
+  std::function<void(const Packet&)> on_deliver;
+
+ private:
+  void start_transmission() {
+    auto next = qdisc_->dequeue();
+    if (!next) return;
+    transmitting_ = true;
+    ++packets_sent_;
+    bytes_sent_ += next->size;
+    if (on_transmit_start) on_transmit_start(*next);
+    const Time tx = transmission_time(next->size, rate_bps_);
+    // Serialization completes at now+tx; the last bit reaches the peer one
+    // propagation delay later.
+    sim_.schedule_in(tx, [this, pkt = std::move(*next)]() mutable {
+      Port* peer = peer_;
+      if (peer != nullptr) {
+        sim_.schedule_in(prop_delay_, [peer, p = std::move(pkt)]() mutable {
+          peer->deliver(std::move(p));
+        });
+      }
+      transmitting_ = false;
+      start_transmission();
+    });
+  }
+
+  sim::Simulator& sim_;
+  double rate_bps_;
+  Time prop_delay_;
+  std::unique_ptr<QueueDisc> qdisc_;
+  Port* peer_ = nullptr;
+  std::function<void(Packet&&)> receiver_;
+  bool transmitting_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::int64_t bytes_sent_ = 0;
+};
+
+// Wires two ports into a full-duplex link.
+inline void connect(Port& a, Port& b) {
+  a.set_peer(&b);
+  b.set_peer(&a);
+}
+
+}  // namespace dynaq::net

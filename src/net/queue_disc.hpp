@@ -1,0 +1,63 @@
+// Queueing discipline interface for port egress buffers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace dynaq::net {
+
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  // Attempts to buffer `p`. Returns false when the packet is dropped.
+  virtual bool enqueue(Packet&& p) = 0;
+
+  // Removes the next packet chosen by the discipline, or nullopt when empty.
+  virtual std::optional<Packet> dequeue() = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::int64_t backlog_bytes() const = 0;
+};
+
+// Simple shared-FIFO tail-drop queue; used for end-host NICs where the
+// paper's testbed relies on the (rate-limited) qdisc rather than the NIC
+// ring for buffering.
+class DropTailQueue final : public QueueDisc {
+ public:
+  // `capacity_bytes` <= 0 means unlimited.
+  explicit DropTailQueue(std::int64_t capacity_bytes = 0) : capacity_(capacity_bytes) {}
+
+  bool enqueue(Packet&& p) override {
+    if (capacity_ > 0 && bytes_ + p.size > capacity_) {
+      ++drops_;
+      return false;
+    }
+    bytes_ += p.size;
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  std::optional<Packet> dequeue() override {
+    if (q_.empty()) return std::nullopt;
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p.size;
+    return p;
+  }
+
+  bool empty() const override { return q_.empty(); }
+  std::int64_t backlog_bytes() const override { return bytes_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::deque<Packet> q_;
+};
+
+}  // namespace dynaq::net

@@ -1,0 +1,29 @@
+// Packet scheduler interface for multi-queue ports.
+#pragma once
+
+#include <string_view>
+
+#include "net/mq_state.hpp"
+
+namespace dynaq::net {
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  virtual void attach(const MqState& state) { (void)state; }
+
+  // Notification that a packet was appended to queue `q` (used to maintain
+  // active lists).
+  virtual void on_enqueue(const MqState& state, int q) { (void)state, (void)q; }
+
+  // Chooses the queue whose head packet should be transmitted next and
+  // commits any scheduler state for that choice (deficit decrement, slot
+  // consumption). Returns -1 when every queue is empty. The caller will
+  // remove exactly the head packet of the returned queue.
+  virtual int next_queue(MqState& state) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace dynaq::net

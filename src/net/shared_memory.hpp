@@ -1,0 +1,43 @@
+// Shared switch memory across ports.
+//
+// §II-C of the paper discusses shared-buffer switches where "a single port
+// can occupy many buffers": per-port admission (e.g. the classic Dynamic
+// Threshold) then competes for one chip-wide SRAM pool, and a congested
+// port can starve others — the per-port fairness harm the paper cites as a
+// reason DynaQ partitions per port. This component models that pool so
+// the abl_shared_pool bench can reproduce the argument.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace dynaq::net {
+
+class SharedMemoryPool {
+ public:
+  explicit SharedMemoryPool(std::int64_t total_bytes) : total_(total_bytes) {
+    if (total_bytes <= 0) throw std::invalid_argument("pool size must be positive");
+  }
+
+  std::int64_t total_bytes() const { return total_; }
+  std::int64_t used_bytes() const { return used_; }
+  std::int64_t free_bytes() const { return total_ - used_; }
+
+  // Attempts to reserve `bytes`; false when the pool is exhausted.
+  bool reserve(std::int64_t bytes) {
+    if (used_ + bytes > total_) return false;
+    used_ += bytes;
+    return true;
+  }
+
+  void release(std::int64_t bytes) {
+    used_ -= bytes;
+    if (used_ < 0) throw std::logic_error("SharedMemoryPool: released more than reserved");
+  }
+
+ private:
+  std::int64_t total_;
+  std::int64_t used_ = 0;
+};
+
+}  // namespace dynaq::net

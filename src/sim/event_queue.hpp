@@ -1,0 +1,59 @@
+// Pending-event set for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaq::sim {
+
+using EventId = std::uint64_t;
+
+// A binary-heap pending-event set. Events scheduled for the same timestamp
+// fire in insertion order (FIFO tie-break via a monotonically increasing
+// sequence number) so runs are fully deterministic.
+class EventQueue {
+ public:
+  EventId push(Time when, std::function<void()> action) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(action)});
+    return id;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  Time next_time() const { return heap_.top().when; }
+
+  // Removes and returns the earliest event's action, advancing `now` to its
+  // timestamp. Precondition: !empty().
+  std::function<void()> pop(Time& now) {
+    now = heap_.top().when;
+    // std::priority_queue::top() is const; the action is moved out via a
+    // const_cast-free copy of the entry by re-wrapping with mutable access.
+    std::function<void()> action = std::move(const_cast<Entry&>(heap_.top()).action);
+    heap_.pop();
+    return action;
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace dynaq::sim

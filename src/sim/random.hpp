@@ -1,0 +1,42 @@
+// Deterministic random number generation for simulations.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dynaq::sim {
+
+// Seeded pseudo-random source. Every experiment owns one Rng so that runs
+// are reproducible from the seed alone and independent of call ordering in
+// unrelated components.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Exponential variate with the given mean (inter-arrival times of a
+  // Poisson process).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace dynaq::sim

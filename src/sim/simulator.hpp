@@ -1,0 +1,74 @@
+// Discrete-event simulator.
+//
+// A single-threaded event loop with an integer picosecond clock. All model
+// components hold a reference to the Simulator that owns their timeline;
+// there is no global simulator instance, so tests can run many independent
+// simulations in one process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace dynaq::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulation time. Monotonically non-decreasing.
+  Time now() const { return now_; }
+
+  // Schedules `action` at absolute time `when`. Scheduling in the past is a
+  // programming error and throws.
+  EventId schedule_at(Time when, std::function<void()> action) {
+    if (when < now_) throw std::logic_error("Simulator: scheduling into the past");
+    return events_.push(when, std::move(action));
+  }
+
+  // Schedules `action` `delay` after the current time.
+  EventId schedule_in(Time delay, std::function<void()> action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  // Runs until the pending-event set is empty or stop() is called.
+  void run() {
+    running_ = true;
+    while (running_ && !events_.empty()) step();
+    running_ = false;
+  }
+
+  // Runs until simulated time reaches `deadline` (events at exactly
+  // `deadline` are executed), the event set drains, or stop() is called.
+  void run_until(Time deadline) {
+    running_ = true;
+    while (running_ && !events_.empty() && events_.next_time() <= deadline) step();
+    running_ = false;
+    if (now_ < deadline && events_.empty()) now_ = deadline;
+  }
+
+  // Stops the run loop after the current event returns.
+  void stop() { running_ = false; }
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t events_pending() const { return events_.size(); }
+
+ private:
+  void step() {
+    auto action = events_.pop(now_);
+    ++processed_;
+    action();
+  }
+
+  EventQueue events_;
+  Time now_ = 0;
+  bool running_ = false;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace dynaq::sim

@@ -1,0 +1,46 @@
+// Minimal CSV emission for experiment time series, so bench output can be
+// plotted without scraping the pretty-printed tables.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dynaq::stats {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {}
+
+  bool ok() const { return out_.good(); }
+
+  void header(const std::vector<std::string>& columns) { write_cells(columns); }
+
+  void row(std::initializer_list<double> values) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (const double v : values) {
+      std::ostringstream ss;
+      ss << v;
+      cells.push_back(ss.str());
+    }
+    write_cells(cells);
+  }
+
+  void row(const std::vector<std::string>& cells) { write_cells(cells); }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace dynaq::stats

@@ -1,0 +1,27 @@
+#include "stats/fairness.hpp"
+
+#include <cstddef>
+
+namespace dynaq::stats {
+
+double jain_index(std::span<const double> allocations) {
+  if (allocations.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  const double n = static_cast<double>(allocations.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double share_of(std::span<const double> allocations, std::size_t i) {
+  double sum = 0.0;
+  for (double x : allocations) sum += x;
+  if (sum == 0.0 || i >= allocations.size()) return 0.0;
+  return allocations[i] / sum;
+}
+
+}  // namespace dynaq::stats

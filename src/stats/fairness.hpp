@@ -1,0 +1,16 @@
+// Fairness metrics used in the DynaQ evaluation.
+#pragma once
+
+#include <span>
+
+namespace dynaq::stats {
+
+// Jain's fairness index: (Σx)² / (n·Σx²). Returns 1.0 for a perfectly even
+// allocation, 1/n when one member receives everything, and 1.0 for an empty
+// or all-zero input (nothing to be unfair about).
+double jain_index(std::span<const double> allocations);
+
+// Throughput share of member i: x_i / Σx. Returns 0 when Σx == 0.
+double share_of(std::span<const double> allocations, std::size_t i);
+
+}  // namespace dynaq::stats

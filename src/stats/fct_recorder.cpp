@@ -1,0 +1,39 @@
+#include "stats/fct_recorder.hpp"
+
+#include "stats/percentile.hpp"
+
+namespace dynaq::stats {
+
+FctSummary FctRecorder::summarize() const {
+  FctSummary s;
+  s.count = records_.size();
+  if (records_.empty()) return s;
+
+  std::vector<double> all_ms;
+  std::vector<double> small_ms;
+  std::vector<double> medium_ms;
+  std::vector<double> large_ms;
+  all_ms.reserve(records_.size());
+  for (const FlowRecord& r : records_) {
+    const double ms = to_milliseconds(r.fct());
+    all_ms.push_back(ms);
+    if (r.size_bytes <= kSmallFlowBytes) {
+      small_ms.push_back(ms);
+    } else if (r.size_bytes > kLargeFlowBytes) {
+      large_ms.push_back(ms);
+    } else {
+      medium_ms.push_back(ms);
+    }
+  }
+  s.small_count = small_ms.size();
+  s.large_count = large_ms.size();
+  s.avg_overall_ms = mean(all_ms);
+  s.avg_small_ms = mean(small_ms);
+  s.avg_medium_ms = mean(medium_ms);
+  s.avg_large_ms = mean(large_ms);
+  s.p99_small_ms = percentile(small_ms, 99.0);
+  s.p99_overall_ms = percentile(all_ms, 99.0);
+  return s;
+}
+
+}  // namespace dynaq::stats

@@ -1,0 +1,56 @@
+// Flow completion time collection and size-bucketed summaries.
+//
+// The paper reports the average FCT of overall flows, small flows
+// (<= 100 KB), large flows (> 10 MB), and the 99th-percentile FCT of small
+// flows, normalizing each series by DynaQ's value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaq::stats {
+
+inline constexpr std::int64_t kSmallFlowBytes = 100 * 1000;        // <= 100 KB
+inline constexpr std::int64_t kLargeFlowBytes = 10 * 1000 * 1000;  // > 10 MB
+
+struct FlowRecord {
+  std::uint64_t flow_id = 0;
+  std::int64_t size_bytes = 0;
+  Time start = 0;
+  Time finish = 0;
+
+  Time fct() const { return finish - start; }
+};
+
+// Summary of one FCT distribution, all values in milliseconds.
+struct FctSummary {
+  std::size_t count = 0;
+  double avg_overall_ms = 0.0;
+  double avg_small_ms = 0.0;
+  double avg_medium_ms = 0.0;
+  double avg_large_ms = 0.0;
+  double p99_small_ms = 0.0;
+  double p99_overall_ms = 0.0;
+  std::size_t small_count = 0;
+  std::size_t large_count = 0;
+};
+
+class FctRecorder {
+ public:
+  void record(const FlowRecord& r) { records_.push_back(r); }
+  void record(std::uint64_t flow_id, std::int64_t size_bytes, Time start, Time finish) {
+    records_.push_back(FlowRecord{flow_id, size_bytes, start, finish});
+  }
+
+  std::size_t count() const { return records_.size(); }
+  const std::vector<FlowRecord>& records() const { return records_; }
+
+  FctSummary summarize() const;
+
+ private:
+  std::vector<FlowRecord> records_;
+};
+
+}  // namespace dynaq::stats

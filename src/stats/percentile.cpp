@@ -1,0 +1,44 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynaq::stats {
+namespace {
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> samples, double p) {
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, p);
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+std::vector<double> percentiles_inplace(std::vector<double>& samples,
+                                        std::span<const double> ps) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(samples, p));
+  return out;
+}
+
+}  // namespace dynaq::stats

@@ -1,0 +1,22 @@
+// Order statistics over collected samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dynaq::stats {
+
+// p-th percentile (p in [0,100]) by linear interpolation between closest
+// ranks (the "exclusive" method used by numpy's default). The input span is
+// copied; the original order is preserved. Returns 0 for an empty input.
+double percentile(std::span<const double> samples, double p);
+
+// Arithmetic mean; 0 for an empty input.
+double mean(std::span<const double> samples);
+
+// In-place variant for hot paths: sorts `samples` and reads percentiles
+// without copying. Each entry of `ps` is a percentile in [0,100].
+std::vector<double> percentiles_inplace(std::vector<double>& samples,
+                                        std::span<const double> ps);
+
+}  // namespace dynaq::stats

@@ -1,0 +1,43 @@
+// Per-operation queue length sampling (Fig. 1 / Fig. 4 of the paper record
+// 1K sequential per-enqueue/dequeue samples of every queue's occupancy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaq::stats {
+
+struct QueueLengthSample {
+  Time when = 0;
+  std::vector<std::int64_t> queue_bytes;     // occupancy per service queue
+  std::vector<std::int64_t> thresholds;      // drop threshold per queue (if any)
+};
+
+class QueueLengthSampler {
+ public:
+  // Starts retaining samples after `skip` recorded operations and keeps at
+  // most `capacity` of them, matching the paper's "1K sequential samples at
+  // random time" methodology.
+  explicit QueueLengthSampler(std::size_t capacity = 1000, std::size_t skip = 0)
+      : capacity_(capacity), skip_(skip) {}
+
+  void record(Time when, std::vector<std::int64_t> queue_bytes,
+              std::vector<std::int64_t> thresholds = {}) {
+    if (seen_++ < skip_) return;
+    if (samples_.size() >= capacity_) return;
+    samples_.push_back(QueueLengthSample{when, std::move(queue_bytes), std::move(thresholds)});
+  }
+
+  bool full() const { return samples_.size() >= capacity_; }
+  const std::vector<QueueLengthSample>& samples() const { return samples_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t skip_;
+  std::size_t seen_ = 0;
+  std::vector<QueueLengthSample> samples_;
+};
+
+}  // namespace dynaq::stats

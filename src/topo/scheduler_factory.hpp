@@ -1,0 +1,50 @@
+// Scheduler construction shared by topologies and harnesses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string_view>
+
+#include "net/schedulers.hpp"
+
+namespace dynaq::topo {
+
+enum class SchedulerKind {
+  kFifo,
+  kSpq,
+  kDrr,
+  kWrr,
+  kSpqOverDrr,  // queue 0 strict-high over DRR for the rest (the paper's SPQ/DRR)
+};
+
+inline std::string_view scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kSpq: return "spq";
+    case SchedulerKind::kDrr: return "drr";
+    case SchedulerKind::kWrr: return "wrr";
+    case SchedulerKind::kSpqOverDrr: return "spq/drr";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<net::SchedulerPolicy> make_scheduler(SchedulerKind kind,
+                                                            std::int64_t quantum_base = 1500) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<net::FifoScheduler>();
+    case SchedulerKind::kSpq:
+      return std::make_unique<net::SpqScheduler>();
+    case SchedulerKind::kDrr:
+      return std::make_unique<net::DrrScheduler>(quantum_base);
+    case SchedulerKind::kWrr:
+      return std::make_unique<net::WrrScheduler>();
+    case SchedulerKind::kSpqOverDrr:
+      return std::make_unique<net::SpqOverScheduler>(
+          std::make_unique<net::DrrScheduler>(quantum_base));
+  }
+  throw std::logic_error("unknown scheduler kind");
+}
+
+}  // namespace dynaq::topo

@@ -1,0 +1,35 @@
+#include "transport/congestion_control.hpp"
+
+#include <stdexcept>
+
+#include "transport/cubic.hpp"
+#include "transport/dctcp.hpp"
+#include "transport/newreno.hpp"
+#include "transport/newreno_ecn.hpp"
+#include "transport/vegas.hpp"
+
+namespace dynaq::transport {
+
+std::string_view cc_name(CcKind kind) {
+  switch (kind) {
+    case CcKind::kNewReno: return "newreno";
+    case CcKind::kNewRenoEcn: return "newreno-ecn";
+    case CcKind::kCubic: return "cubic";
+    case CcKind::kDctcp: return "dctcp";
+    case CcKind::kVegas: return "vegas";
+  }
+  return "?";
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcKind kind) {
+  switch (kind) {
+    case CcKind::kNewReno: return std::make_unique<NewRenoCc>();
+    case CcKind::kNewRenoEcn: return std::make_unique<NewRenoEcnCc>();
+    case CcKind::kCubic: return std::make_unique<CubicCc>();
+    case CcKind::kDctcp: return std::make_unique<DctcpCc>();
+    case CcKind::kVegas: return std::make_unique<VegasCc>();
+  }
+  throw std::logic_error("unknown congestion control kind");
+}
+
+}  // namespace dynaq::transport

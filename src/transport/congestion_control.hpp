@@ -1,0 +1,58 @@
+// Congestion-control strategy interface.
+//
+// The sender owns reliability (cumulative ACKs, dupACK fast retransmit,
+// RTO); the strategy owns the window. DynaQ is protocol-independent, so the
+// evaluation mixes NewReno ("TCP"), CUBIC and DCTCP senders freely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace dynaq::transport {
+
+enum class CcKind { kNewReno, kNewRenoEcn, kCubic, kDctcp, kVegas };
+
+std::string_view cc_name(CcKind kind);
+
+// Per-ACK context handed to the strategy.
+struct AckInfo {
+  std::int64_t bytes_acked = 0;  // newly acknowledged bytes
+  bool ece = false;              // ECN echo on this ACK
+  Time now = 0;
+  Time rtt_sample = 0;           // 0 when no valid sample (Karn)
+  Time srtt = 0;                 // sender's smoothed RTT (0 until first sample)
+  std::uint64_t snd_una = 0;     // after applying this ACK
+  std::uint64_t snd_nxt = 0;
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  // Called once before the flow starts.
+  virtual void init(std::int32_t mss, double initial_cwnd_packets) = 0;
+
+  // New data acknowledged outside fast recovery.
+  virtual void on_ack(const AckInfo& info) = 0;
+
+  // Entering fast recovery (triple dupACK). Called once per loss event.
+  virtual void on_loss_event(const AckInfo& info) = 0;
+
+  // Retransmission timeout.
+  virtual void on_timeout() = 0;
+
+  virtual double cwnd_bytes() const = 0;
+  virtual double ssthresh_bytes() const = 0;
+
+  // True when the sender should set ECT on data packets.
+  virtual bool wants_ecn() const { return false; }
+
+  virtual std::string_view name() const = 0;
+};
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcKind kind);
+
+}  // namespace dynaq::transport

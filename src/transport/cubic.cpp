@@ -1,0 +1,73 @@
+#include "transport/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dynaq::transport {
+
+void CubicCc::init(std::int32_t mss, double initial_cwnd_packets) {
+  mss_ = mss;
+  cwnd_ = initial_cwnd_packets * static_cast<double>(mss);
+  ssthresh_ = std::numeric_limits<double>::max() / 4;
+  w_max_ = 0.0;
+  epoch_start_ = -1;
+}
+
+void CubicCc::reset_epoch() { epoch_start_ = -1; }
+
+void CubicCc::on_ack(const AckInfo& info) {
+  if (cwnd_ < ssthresh_) {  // slow start
+    cwnd_ += static_cast<double>(info.bytes_acked);
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    return;
+  }
+  if (epoch_start_ < 0) {
+    epoch_start_ = info.now;
+    if (w_max_ < cwnd_) {
+      // Fresh epoch above the last Wmax: start the cubic curve here.
+      w_max_ = cwnd_;
+      k_ = 0.0;
+    } else {
+      k_ = std::cbrt(w_max_ / static_cast<double>(mss_) * (1.0 - kBeta) / kC);
+    }
+  }
+  const double t = to_seconds(info.now - epoch_start_);
+  const double dt = t - k_;
+  const double target_mss = kC * dt * dt * dt + w_max_ / static_cast<double>(mss_);
+  double target = target_mss * static_cast<double>(mss_);
+
+  // TCP-friendly region: never grow slower than an AIMD flow with the same
+  // loss rate would (Ha et al. §4.2, simplified with srtt).
+  if (info.srtt > 0) {
+    const double rtts = t / to_seconds(info.srtt);
+    const double w_est_mss = w_max_ / static_cast<double>(mss_) * kBeta +
+                             3.0 * (1.0 - kBeta) / (1.0 + kBeta) * rtts;
+    target = std::max(target, w_est_mss * static_cast<double>(mss_));
+  }
+
+  if (target > cwnd_) {
+    // Approach the target over one RTT: (target - cwnd)/cwnd per acked MSS.
+    cwnd_ += (target - cwnd_) / cwnd_ * static_cast<double>(info.bytes_acked);
+  } else {
+    // Minimal growth in the concave plateau.
+    cwnd_ += static_cast<double>(mss_) * static_cast<double>(info.bytes_acked) / (100.0 * cwnd_);
+  }
+}
+
+void CubicCc::on_loss_event(const AckInfo& info) {
+  (void)info;
+  w_max_ = cwnd_;
+  cwnd_ = std::max(cwnd_ * kBeta, 2.0 * mss_);
+  ssthresh_ = cwnd_;
+  reset_epoch();
+}
+
+void CubicCc::on_timeout() {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * kBeta, 2.0 * mss_);
+  cwnd_ = static_cast<double>(mss_);
+  reset_epoch();
+}
+
+}  // namespace dynaq::transport

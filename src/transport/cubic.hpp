@@ -1,0 +1,36 @@
+// CUBIC congestion control (Ha, Rhee & Xu), the Linux default and the
+// second "generic transport" of the paper's protocol-independence
+// experiment (Fig. 7). Cubic window growth W(t) = C(t-K)^3 + Wmax with
+// β = 0.7, plus the TCP-friendly region.
+#pragma once
+
+#include "transport/congestion_control.hpp"
+
+namespace dynaq::transport {
+
+class CubicCc final : public CongestionControl {
+ public:
+  void init(std::int32_t mss, double initial_cwnd_packets) override;
+  void on_ack(const AckInfo& info) override;
+  void on_loss_event(const AckInfo& info) override;
+  void on_timeout() override;
+
+  double cwnd_bytes() const override { return cwnd_; }
+  double ssthresh_bytes() const override { return ssthresh_; }
+  std::string_view name() const override { return "cubic"; }
+
+ private:
+  void reset_epoch();
+
+  static constexpr double kC = 0.4;     // cubic scaling constant (MSS/s^3)
+  static constexpr double kBeta = 0.7;  // multiplicative decrease factor
+
+  std::int32_t mss_ = 1460;
+  double cwnd_ = 0.0;      // bytes
+  double ssthresh_ = 0.0;  // bytes
+  double w_max_ = 0.0;     // bytes, window before last reduction
+  double k_ = 0.0;         // seconds to regain w_max_
+  Time epoch_start_ = -1;  // -1: no epoch in progress
+};
+
+}  // namespace dynaq::transport

@@ -1,0 +1,44 @@
+#include "transport/dctcp.hpp"
+
+#include <algorithm>
+
+namespace dynaq::transport {
+
+void DctcpCc::init(std::int32_t mss, double initial_cwnd_packets) {
+  NewRenoCc::init(mss, initial_cwnd_packets);
+  alpha_ = 1.0;
+  window_bytes_ = 0;
+  window_marked_ = 0;
+  window_end_ = 0;
+  cwr_end_ = 0;
+}
+
+void DctcpCc::on_ack(const AckInfo& info) {
+  window_bytes_ += info.bytes_acked;
+  if (info.ece) window_marked_ += info.bytes_acked;
+
+  // One observation window ≈ one RTT of data: when the ACK passes the
+  // snd_nxt recorded at the previous boundary, fold the marked fraction
+  // into alpha (α ← (1−g)α + g·F).
+  if (info.snd_una >= window_end_) {
+    if (window_bytes_ > 0) {
+      const double f = static_cast<double>(window_marked_) / static_cast<double>(window_bytes_);
+      alpha_ = (1.0 - kG) * alpha_ + kG * f;
+    }
+    window_bytes_ = 0;
+    window_marked_ = 0;
+    window_end_ = info.snd_nxt;
+  }
+
+  // ECN-proportional reduction, at most once per window (CWR state).
+  if (info.ece && info.snd_una >= cwr_end_) {
+    cwnd_ = std::max(cwnd_ * (1.0 - alpha_ / 2.0), 2.0 * mss_);
+    ssthresh_ = cwnd_;
+    cwr_end_ = info.snd_nxt;
+    return;  // no additive growth on the reducing ACK
+  }
+
+  NewRenoCc::on_ack(info);
+}
+
+}  // namespace dynaq::transport

@@ -1,0 +1,30 @@
+// DCTCP (Alizadeh et al., SIGCOMM'10): ECN-fraction-proportional window
+// reduction over NewReno growth. Used by the ECN-based scheme comparison
+// (Fig. 9); the receiver side echoes CE per packet, which with per-packet
+// ACKs gives the exact marked-byte fraction.
+#pragma once
+
+#include "transport/newreno.hpp"
+
+namespace dynaq::transport {
+
+class DctcpCc final : public NewRenoCc {
+ public:
+  void init(std::int32_t mss, double initial_cwnd_packets) override;
+  void on_ack(const AckInfo& info) override;
+
+  double alpha() const { return alpha_; }
+  bool wants_ecn() const override { return true; }
+  std::string_view name() const override { return "dctcp"; }
+
+ private:
+  static constexpr double kG = 1.0 / 16.0;  // EWMA gain from the paper
+
+  double alpha_ = 1.0;  // start conservative, per the DCTCP paper
+  std::int64_t window_bytes_ = 0;
+  std::int64_t window_marked_ = 0;
+  std::uint64_t window_end_ = 0;   // snd_una that closes the current observation window
+  std::uint64_t cwr_end_ = 0;      // reductions suppressed until snd_una passes this
+};
+
+}  // namespace dynaq::transport

@@ -1,0 +1,88 @@
+#include "transport/flow_receiver.hpp"
+
+#include <algorithm>
+
+namespace dynaq::transport {
+
+void FlowReceiver::insert_segment(std::uint64_t seq, std::uint64_t end) {
+  if (end <= rcv_nxt_) return;  // stale retransmission
+  seq = std::max(seq, rcv_nxt_);
+
+  // Merge [seq, end) into the out-of-order interval set.
+  auto it = out_of_order_.lower_bound(seq);
+  if (it != out_of_order_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= seq) {
+      seq = prev->first;
+      end = std::max(end, prev->second);
+      it = out_of_order_.erase(prev);
+    }
+  }
+  while (it != out_of_order_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = out_of_order_.erase(it);
+  }
+  out_of_order_[seq] = end;
+
+  // Advance the cumulative point across any now-contiguous intervals.
+  auto head = out_of_order_.begin();
+  while (head != out_of_order_.end() && head->first <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, head->second);
+    head = out_of_order_.erase(head);
+  }
+}
+
+void FlowReceiver::send_ack(std::uint8_t queue, bool ece) {
+  net::Packet ack = net::make_ack_packet(params_.id, static_cast<std::uint32_t>(params_.dst_host),
+                                         static_cast<std::uint32_t>(params_.src_host), rcv_nxt_);
+  ack.queue = queue;  // ACKs ride the same service class as their data
+  if (ece) ack.set(net::kFlagEce);
+  // SACK option: advertise up to kMaxSackBlocks out-of-order intervals,
+  // nearest the cumulative point first — enough for the sender's
+  // scoreboard to locate every hole within a few ACKs.
+  for (const auto& [start, end] : out_of_order_) {
+    if (ack.num_sack >= net::kMaxSackBlocks) break;
+    ack.sack[ack.num_sack++] = net::SackBlock{start, end};
+  }
+  ++acks_sent_;
+  ack_pending_ = false;
+  ++ack_timer_generation_;  // cancels any outstanding delayed-ACK timer
+  host_.send(std::move(ack));
+}
+
+void FlowReceiver::delayed_ack_timer_fired(std::uint64_t generation) {
+  if (generation != ack_timer_generation_ || !ack_pending_) return;
+  send_ack(pending_queue_, /*ece=*/false);
+}
+
+void FlowReceiver::on_data(const net::Packet& data) {
+  const std::uint64_t before = rcv_nxt_;
+  insert_segment(data.seq, data.seq + static_cast<std::uint64_t>(data.payload));
+  const bool advanced = rcv_nxt_ > before;
+
+  // RFC 1122 delayed ACKs acknowledge at least every 2nd segment; dupACK
+  // triggers (out-of-order data) and ECN (CE must be echoed promptly for
+  // DCTCP's estimator) always acknowledge immediately.
+  const bool must_ack_now = !params_.delayed_ack || !advanced || data.has(net::kFlagCe) ||
+                            ack_pending_ || complete_ ||
+                            (!params_.unbounded() &&
+                             static_cast<std::int64_t>(rcv_nxt_) >= params_.size_bytes);
+  if (must_ack_now) {
+    send_ack(data.queue, data.has(net::kFlagCe));
+  } else {
+    ack_pending_ = true;
+    pending_queue_ = data.queue;
+    const auto generation = ++ack_timer_generation_;
+    sim_.schedule_in(params_.delayed_ack_timeout,
+                     [this, generation] { delayed_ack_timer_fired(generation); });
+  }
+
+  if (!complete_ && !params_.unbounded() &&
+      static_cast<std::int64_t>(rcv_nxt_) >= params_.size_bytes) {
+    complete_ = true;
+    completion_time_ = sim_.now();
+    if (on_complete) on_complete(*this);
+  }
+}
+
+}  // namespace dynaq::transport

@@ -1,0 +1,64 @@
+// Per-host transport endpoint: demultiplexes arriving packets to flow
+// senders (ACKs) and receivers (data) by flow id.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "transport/flow_receiver.hpp"
+#include "transport/flow_sender.hpp"
+
+namespace dynaq::transport {
+
+class HostAgent {
+ public:
+  explicit HostAgent(net::Host& host) : host_(host) {
+    host_.set_packet_handler([this](net::Packet&& p) { on_packet(std::move(p)); });
+  }
+
+  // Creates the sending side of a flow on this host. Call start() yourself
+  // or use FlowManager, which wires both ends.
+  FlowSender& add_sender(const FlowParams& params) {
+    auto sender = std::make_unique<FlowSender>(host_.simulator(), host_, params);
+    FlowSender& ref = *sender;
+    senders_.emplace(params.id, std::move(sender));
+    return ref;
+  }
+
+  FlowReceiver& add_receiver(const FlowParams& params) {
+    auto receiver = std::make_unique<FlowReceiver>(host_.simulator(), host_, params);
+    FlowReceiver& ref = *receiver;
+    receivers_.emplace(params.id, std::move(receiver));
+    return ref;
+  }
+
+  net::Host& host() { return host_; }
+  std::size_t num_senders() const { return senders_.size(); }
+  std::size_t num_receivers() const { return receivers_.size(); }
+  std::uint64_t stray_packets() const { return stray_; }
+
+ private:
+  void on_packet(net::Packet&& p) {
+    if (p.is_ack()) {
+      if (auto it = senders_.find(p.flow); it != senders_.end()) {
+        it->second->on_ack(p);
+        return;
+      }
+    } else {
+      if (auto it = receivers_.find(p.flow); it != receivers_.end()) {
+        it->second->on_data(p);
+        return;
+      }
+    }
+    ++stray_;  // packet for an unknown flow (e.g. after teardown)
+  }
+
+  net::Host& host_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<FlowSender>> senders_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<FlowReceiver>> receivers_;
+  std::uint64_t stray_ = 0;
+};
+
+}  // namespace dynaq::transport

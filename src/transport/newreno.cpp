@@ -1,0 +1,35 @@
+#include "transport/newreno.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dynaq::transport {
+
+void NewRenoCc::init(std::int32_t mss, double initial_cwnd_packets) {
+  mss_ = mss;
+  cwnd_ = initial_cwnd_packets * static_cast<double>(mss);
+  ssthresh_ = std::numeric_limits<double>::max() / 4;
+}
+
+void NewRenoCc::on_ack(const AckInfo& info) {
+  if (in_slow_start()) {
+    cwnd_ += static_cast<double>(info.bytes_acked);
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;  // precise ssthresh crossing
+  } else {
+    // ~1 MSS per RTT: MSS^2/cwnd per MSS acked, scaled by bytes.
+    cwnd_ += static_cast<double>(mss_) * static_cast<double>(info.bytes_acked) / cwnd_;
+  }
+}
+
+void NewRenoCc::on_loss_event(const AckInfo& info) {
+  (void)info;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void NewRenoCc::on_timeout() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = static_cast<double>(mss_);
+}
+
+}  // namespace dynaq::transport

@@ -1,0 +1,30 @@
+// TCP NewReno congestion control: slow start, AIMD congestion avoidance,
+// half-window reduction on fast retransmit, one-MSS restart on RTO. This is
+// the "TCP" of the paper's testbed (Linux 3.18 with ECN disabled behaves as
+// NewReno-style loss-based AIMD for these workloads).
+#pragma once
+
+#include "transport/congestion_control.hpp"
+
+namespace dynaq::transport {
+
+class NewRenoCc : public CongestionControl {
+ public:
+  void init(std::int32_t mss, double initial_cwnd_packets) override;
+  void on_ack(const AckInfo& info) override;
+  void on_loss_event(const AckInfo& info) override;
+  void on_timeout() override;
+
+  double cwnd_bytes() const override { return cwnd_; }
+  double ssthresh_bytes() const override { return ssthresh_; }
+  std::string_view name() const override { return "newreno"; }
+
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ protected:
+  std::int32_t mss_ = 1460;
+  double cwnd_ = 0.0;
+  double ssthresh_ = 0.0;
+};
+
+}  // namespace dynaq::transport

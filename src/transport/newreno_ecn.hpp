@@ -1,0 +1,37 @@
+// Classic TCP ECN (RFC 3168) over NewReno: an ECE-marked ACK is treated
+// like a loss event — one half-window reduction per RTT — without any
+// retransmission. This is the "generic transport with ECN enabled" the
+// paper's protocol-independence argument must also serve: unlike DCTCP it
+// reacts to the *presence* of marks, not their fraction.
+#pragma once
+
+#include "transport/newreno.hpp"
+
+namespace dynaq::transport {
+
+class NewRenoEcnCc final : public NewRenoCc {
+ public:
+  void init(std::int32_t mss, double initial_cwnd_packets) override {
+    NewRenoCc::init(mss, initial_cwnd_packets);
+    cwr_end_ = 0;
+  }
+
+  void on_ack(const AckInfo& info) override {
+    if (info.ece && info.snd_una >= cwr_end_) {
+      // RFC 3168 §6.1.2: halve once, then ignore further marks until the
+      // current window drains (CWR state).
+      on_loss_event(info);
+      cwr_end_ = info.snd_nxt;
+      return;
+    }
+    NewRenoCc::on_ack(info);
+  }
+
+  bool wants_ecn() const override { return true; }
+  std::string_view name() const override { return "newreno-ecn"; }
+
+ private:
+  std::uint64_t cwr_end_ = 0;
+};
+
+}  // namespace dynaq::transport

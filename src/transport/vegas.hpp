@@ -1,0 +1,79 @@
+// Delay-based congestion control (Vegas-style window adaptation).
+//
+// §II-B of the paper motivates protocol independence with the rise of
+// non-ECN transports, explicitly citing delay-based designs (DX, TIMELY).
+// This strategy is the windowed essence of that family: it estimates the
+// backlog it keeps in the network, diff = cwnd · (1 − baseRTT/RTT), and
+// nudges the window to hold alpha..beta packets of queueing — backing off
+// on delay rather than loss. Against loss-based neighbours in one shared
+// buffer it starves; DynaQ's per-queue isolation is what protects it (see
+// bench/abl_delay_based).
+#pragma once
+
+#include <algorithm>
+
+#include "transport/congestion_control.hpp"
+
+namespace dynaq::transport {
+
+class VegasCc final : public CongestionControl {
+ public:
+  void init(std::int32_t mss, double initial_cwnd_packets) override {
+    mss_ = mss;
+    cwnd_ = initial_cwnd_packets * static_cast<double>(mss);
+    ssthresh_ = 1e18;
+    base_rtt_ = 0;
+  }
+
+  void on_ack(const AckInfo& info) override {
+    if (info.rtt_sample > 0 && (base_rtt_ == 0 || info.rtt_sample < base_rtt_)) {
+      base_rtt_ = info.rtt_sample;
+    }
+    const Time rtt = info.srtt > 0 ? info.srtt : info.rtt_sample;
+    if (base_rtt_ == 0 || rtt <= 0) {
+      cwnd_ += static_cast<double>(info.bytes_acked);  // still measuring: slow start
+      return;
+    }
+    // Estimated bytes this flow keeps queued in the network.
+    const double backlog =
+        cwnd_ * (1.0 - static_cast<double>(base_rtt_) / static_cast<double>(rtt));
+    const double alpha = 2.0 * mss_;  // target at least 2 packets of backlog
+    const double beta = 4.0 * mss_;   // and at most 4
+    if (cwnd_ < ssthresh_ && backlog < alpha) {
+      cwnd_ += static_cast<double>(info.bytes_acked);  // slow start while no queueing
+      return;
+    }
+    const double per_rtt = static_cast<double>(mss_) * static_cast<double>(info.bytes_acked) / cwnd_;
+    if (backlog < alpha) {
+      cwnd_ += per_rtt;  // +1 MSS per RTT
+    } else if (backlog > beta) {
+      cwnd_ = std::max(cwnd_ - per_rtt, 2.0 * mss_);  // -1 MSS per RTT
+      ssthresh_ = cwnd_;
+    }
+  }
+
+  void on_loss_event(const AckInfo& info) override {
+    (void)info;
+    cwnd_ = std::max(cwnd_ * 0.75, 2.0 * mss_);  // Vegas' gentler loss response
+    ssthresh_ = cwnd_;
+  }
+
+  void on_timeout() override {
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+    cwnd_ = static_cast<double>(mss_);
+  }
+
+  double cwnd_bytes() const override { return cwnd_; }
+  double ssthresh_bytes() const override { return ssthresh_; }
+  std::string_view name() const override { return "vegas"; }
+
+  Time base_rtt() const { return base_rtt_; }
+
+ private:
+  std::int32_t mss_ = 1460;
+  double cwnd_ = 0.0;
+  double ssthresh_ = 1e18;
+  Time base_rtt_ = 0;
+};
+
+}  // namespace dynaq::transport

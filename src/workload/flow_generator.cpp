@@ -1,0 +1,32 @@
+#include "workload/flow_generator.hpp"
+
+#include <stdexcept>
+
+namespace dynaq::workload {
+
+double arrival_rate_for_load(double load, double capacity_bps, double mean_flow_bytes) {
+  if (load <= 0.0 || capacity_bps <= 0.0 || mean_flow_bytes <= 0.0) {
+    throw std::invalid_argument("arrival_rate_for_load: all arguments must be positive");
+  }
+  return load * capacity_bps / (8.0 * mean_flow_bytes);
+}
+
+std::vector<FlowRequest> generate_poisson_flows(
+    std::size_t count, double rate_per_sec, const FlowSizeDistribution& dist, sim::Rng& rng,
+    const std::function<void(std::size_t, FlowRequest&)>& placement) {
+  if (rate_per_sec <= 0.0) throw std::invalid_argument("rate_per_sec must be positive");
+  std::vector<FlowRequest> flows;
+  flows.reserve(count);
+  double t_seconds = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t_seconds += rng.exponential(1.0 / rate_per_sec);
+    FlowRequest req;
+    req.start = seconds(t_seconds);
+    req.size_bytes = dist.sample(rng);
+    placement(i, req);
+    flows.push_back(req);
+  }
+  return flows;
+}
+
+}  // namespace dynaq::workload

@@ -1,0 +1,36 @@
+// Open-loop Poisson flow generation at a target offered load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq::workload {
+
+// One flow request produced by the generator.
+struct FlowRequest {
+  Time start = 0;
+  std::int64_t size_bytes = 0;
+  int src_host = 0;
+  int dst_host = 0;
+  int service_queue = 0;  // service the flow belongs to (DSCP class)
+};
+
+// Converts an offered load fraction into the Poisson arrival rate that
+// produces it on a bottleneck of `capacity_bps`:
+//   lambda = load * capacity / (8 * mean_flow_bytes)   [flows per second]
+double arrival_rate_for_load(double load, double capacity_bps, double mean_flow_bytes);
+
+// Pre-generates a flow schedule: `count` flows with exponential
+// inter-arrival times at `rate_per_sec`, sizes drawn from `dist`, and
+// src/dst/service chosen by the provided `placement` callback (invoked with
+// the flow index). Flows are returned sorted by start time.
+std::vector<FlowRequest> generate_poisson_flows(
+    std::size_t count, double rate_per_sec, const FlowSizeDistribution& dist, sim::Rng& rng,
+    const std::function<void(std::size_t, FlowRequest&)>& placement);
+
+}  // namespace dynaq::workload

@@ -1,0 +1,63 @@
+// Empirical flow-size distributions used in the DynaQ evaluation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace dynaq::workload {
+
+// One point of a piecewise-linear CDF: P[size <= bytes] = cum_prob.
+struct CdfPoint {
+  double bytes = 0.0;
+  double cum_prob = 0.0;
+};
+
+// Piecewise-linear inverse-CDF sampler over flow sizes in bytes.
+//
+// The table must be sorted by cum_prob, start at or below probability 0 and
+// end at probability 1. Sampling draws u ~ U[0,1) and interpolates linearly
+// between the bracketing points, the standard ns-2/ns-3 "empirical
+// distribution" behaviour the original MQ-ECN/TCN/DynaQ scripts rely on.
+class FlowSizeDistribution {
+ public:
+  FlowSizeDistribution(std::string name, std::vector<CdfPoint> table);
+
+  const std::string& name() const { return name_; }
+  std::span<const CdfPoint> table() const { return table_; }
+
+  // Analytical mean of the piecewise-linear distribution, in bytes. Used to
+  // convert an offered load fraction into a Poisson arrival rate.
+  double mean_bytes() const { return mean_bytes_; }
+
+  // Draws one flow size (>= 1 byte).
+  std::int64_t sample(sim::Rng& rng) const;
+
+  // Inverse CDF at probability u in [0, 1].
+  double quantile(double u) const;
+
+  // CDF evaluated at `bytes` (linear interpolation).
+  double cdf(double bytes) const;
+
+ private:
+  std::string name_;
+  std::vector<CdfPoint> table_;
+  double mean_bytes_ = 0.0;
+};
+
+// The four production workloads of Fig. 2. Tables are transcribed from the
+// distributions published with DCTCP (web search), VL2 (data mining) and the
+// Facebook datacenter study (cache, hadoop); see distributions.cpp for the
+// numbers and provenance notes.
+const FlowSizeDistribution& web_search_workload();
+const FlowSizeDistribution& data_mining_workload();
+const FlowSizeDistribution& cache_workload();
+const FlowSizeDistribution& hadoop_workload();
+
+// All four, in the order the paper lists them.
+std::span<const FlowSizeDistribution* const> all_workloads();
+
+}  // namespace dynaq::workload

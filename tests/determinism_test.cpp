@@ -1,0 +1,181 @@
+// Determinism and cross-scheme scenario sweeps: every experiment must be
+// bit-identical across runs with the same seed, and every (scheme,
+// scheduler, transport) combination must satisfy basic sanity invariants
+// end-to-end.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/dynamic_experiment.hpp"
+#include "harness/static_experiment.hpp"
+#include "stats/fairness.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq {
+namespace {
+
+TEST(Determinism, DynamicStarIsBitIdentical) {
+  harness::DynamicStarConfig cfg;
+  cfg.star.num_hosts = 5;
+  cfg.star.queue_weights = {1, 1, 1, 1, 1};
+  cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
+  cfg.num_flows = 250;
+  cfg.load = 0.6;
+  cfg.dist = &workload::web_search_workload();
+  cfg.seed = 21;
+  const auto a = harness::run_dynamic_star_experiment(cfg);
+  const auto b = harness::run_dynamic_star_experiment(cfg);
+  ASSERT_EQ(a.fcts.count(), b.fcts.count());
+  for (std::size_t i = 0; i < a.fcts.count(); ++i) {
+    ASSERT_EQ(a.fcts.records()[i].finish, b.fcts.records()[i].finish) << "flow " << i;
+  }
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.drops, b.drops);
+}
+
+TEST(Determinism, LeafSpineIsBitIdentical) {
+  harness::DynamicLeafSpineConfig cfg;
+  cfg.fabric.num_leaves = 3;
+  cfg.fabric.num_spines = 3;
+  cfg.fabric.hosts_per_leaf = 3;
+  cfg.num_flows = 150;
+  cfg.load = 0.5;
+  cfg.seed = 8;
+  const auto a = harness::run_dynamic_leaf_spine_experiment(cfg);
+  const auto b = harness::run_dynamic_leaf_spine_experiment(cfg);
+  ASSERT_EQ(a.fcts.count(), b.fcts.count());
+  for (std::size_t i = 0; i < a.fcts.count(); ++i) {
+    ASSERT_EQ(a.fcts.records()[i].finish, b.fcts.records()[i].finish);
+  }
+  EXPECT_EQ(a.events, b.events);
+}
+
+// ----------------------------------- scheme x scheduler x cc sweep --
+
+struct ScenarioParam {
+  core::SchemeKind scheme;
+  topo::SchedulerKind scheduler;
+  transport::CcKind cc;
+};
+
+std::string scenario_name(const ScenarioParam& p) {
+  std::string name = std::string(core::scheme_name(p.scheme)) + "_" +
+                     std::string(topo::scheduler_kind_name(p.scheduler)) + "_" +
+                     std::string(transport::cc_name(p.cc));
+  for (char& c : name) {
+    if (c == '+' || c == '/' || c == '-') c = 'x';
+  }
+  return name;
+}
+
+class ScenarioSweep : public ::testing::TestWithParam<ScenarioParam> {};
+
+TEST_P(ScenarioSweep, TwoQueueContentionSanity) {
+  const auto param = GetParam();
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 5;
+  cfg.star.queue_weights = {1, 1};
+  cfg.star.scheme.kind = param.scheme;
+  cfg.star.scheme.ecn.port_threshold_bytes = 30'000;
+  cfg.star.scheme.ecn.sojourn_threshold = microseconds(std::int64_t{240});
+  cfg.star.scheme.ecn.capacity_bps = 1e9;
+  cfg.star.scheme.ecn.rtt = microseconds(std::int64_t{500});
+  cfg.star.scheduler = param.scheduler;
+  cfg.groups = {
+      {.queue = 0, .num_flows = 3, .first_src_host = 1, .num_src_hosts = 2,
+       .start = 0, .stop = 0, .cc = param.cc},
+      {.queue = 1, .num_flows = 6, .first_src_host = 3, .num_src_hosts = 2,
+       .start = 0, .stop = 0, .cc = param.cc},
+  };
+  cfg.duration = seconds(std::int64_t{2});
+  cfg.seed = 5;
+  const auto r = harness::run_static_experiment(cfg);
+
+  // Sanity invariants that must hold for every combination:
+  const double q0 = r.meter.mean_gbps(0, 2, r.meter.num_windows());
+  const double q1 = r.meter.mean_gbps(1, 2, r.meter.num_windows());
+  EXPECT_LE(q0 + q1, 1.02) << "cannot exceed line rate";
+  EXPECT_GT(q0 + q1, 0.80) << "link must stay mostly utilized";
+  EXPECT_GT(q0, 0.05) << "no queue may starve completely";
+  EXPECT_GT(q1, 0.05);
+  EXPECT_LE(r.bottleneck_stats.dropped + r.bottleneck_stats.enqueued,
+            r.bottleneck_stats.enqueued + r.bottleneck_stats.dropped);  // no overflowing counters
+
+  // Strong isolation claim only for the isolating schemes on fair
+  // schedulers.
+  const bool isolating = param.scheme == core::SchemeKind::kDynaQ ||
+                         param.scheme == core::SchemeKind::kDynaQEvict ||
+                         param.scheme == core::SchemeKind::kPql;
+  const bool fair_sched = param.scheduler == topo::SchedulerKind::kDrr ||
+                          param.scheduler == topo::SchedulerKind::kWrr;
+  if (isolating && fair_sched) {
+    EXPECT_NEAR(q0, q1, 0.15) << "isolating scheme must keep rough fairness";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ScenarioSweep,
+    ::testing::Values(
+        ScenarioParam{core::SchemeKind::kDynaQ, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kNewReno},
+        ScenarioParam{core::SchemeKind::kDynaQ, topo::SchedulerKind::kWrr,
+                      transport::CcKind::kNewReno},
+        ScenarioParam{core::SchemeKind::kDynaQ, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kCubic},
+        ScenarioParam{core::SchemeKind::kDynaQEvict, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kNewReno},
+        ScenarioParam{core::SchemeKind::kPql, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kNewReno},
+        ScenarioParam{core::SchemeKind::kPql, topo::SchedulerKind::kWrr,
+                      transport::CcKind::kCubic},
+        ScenarioParam{core::SchemeKind::kBestEffort, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kNewReno},
+        ScenarioParam{core::SchemeKind::kDynamicThreshold, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kNewReno},
+        ScenarioParam{core::SchemeKind::kDynaQEcn, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kDctcp},
+        ScenarioParam{core::SchemeKind::kPmsb, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kDctcp},
+        ScenarioParam{core::SchemeKind::kTcn, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kDctcp},
+        ScenarioParam{core::SchemeKind::kPerQueueEcn, topo::SchedulerKind::kWrr,
+                      transport::CcKind::kDctcp},
+        ScenarioParam{core::SchemeKind::kMqEcn, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kDctcp},
+        ScenarioParam{core::SchemeKind::kDynaQEcn, topo::SchedulerKind::kDrr,
+                      transport::CcKind::kNewRenoEcn},
+        ScenarioParam{core::SchemeKind::kPmsb, topo::SchedulerKind::kWrr,
+                      transport::CcKind::kNewRenoEcn}),
+    [](const auto& info) { return scenario_name(info.param); });
+
+// -------------------------------------------------- RFC 3168 TCP-ECN --
+
+TEST(NewRenoEcn, HalvesOncePerWindowOnEce) {
+  auto cc = transport::make_congestion_control(transport::CcKind::kNewRenoEcn);
+  cc->init(1460, 20.0);
+  EXPECT_TRUE(cc->wants_ecn());
+  const double w = cc->cwnd_bytes();
+  transport::AckInfo a;
+  a.bytes_acked = 1460;
+  a.ece = true;
+  a.snd_una = 1460;
+  a.snd_nxt = 29'200;
+  cc->on_ack(a);
+  EXPECT_DOUBLE_EQ(cc->cwnd_bytes(), w / 2.0);
+  // Further marks inside the same window: no additional cut.
+  transport::AckInfo b = a;
+  b.snd_una = 2'920;
+  cc->on_ack(b);
+  EXPECT_GE(cc->cwnd_bytes(), w / 2.0);
+  // Past the CWR point: a new mark cuts again.
+  transport::AckInfo c = a;
+  c.snd_una = 30'000;
+  c.snd_nxt = 60'000;
+  cc->on_ack(c);
+  // (plus the ~0.1 MSS of congestion-avoidance growth from the suppressed
+  // mark inside the CWR window)
+  EXPECT_NEAR(cc->cwnd_bytes(), w / 4.0, 150.0);
+}
+
+}  // namespace
+}  // namespace dynaq

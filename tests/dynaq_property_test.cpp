@@ -1,0 +1,188 @@
+// Deep property tests of DynaQ's semantics: conservation under interleaved
+// arrivals and departures, weighted-share guarantees at the controller
+// level, victim-protection soundness, and cross-checks between the policy
+// and a reference model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dynaq_controller.hpp"
+#include "sim/random.hpp"
+
+namespace dynaq {
+namespace {
+
+using core::DynaQConfig;
+using core::DynaQController;
+using core::Verdict;
+
+// A reference model of Algorithm 1 written as naively as possible (linear
+// search, explicit branches) for differential testing against the
+// optimized controller.
+class ReferenceDynaQ {
+ public:
+  ReferenceDynaQ(std::int64_t buffer, std::vector<double> weights)
+      : buffer_(buffer), weights_(std::move(weights)) {
+    double sum = 0;
+    for (double w : weights_) sum += w;
+    std::int64_t assigned = 0;
+    std::size_t largest = 0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      t_.push_back(static_cast<std::int64_t>(
+          std::floor(static_cast<double>(buffer) * weights_[i] / sum)));
+      s_.push_back(t_.back());
+      assigned += t_.back();
+      if (weights_[i] > weights_[largest]) largest = i;
+    }
+    t_[largest] += buffer - assigned;
+    s_[largest] = t_[largest];
+  }
+
+  Verdict arrival(const std::vector<std::int64_t>& q, int p, std::int32_t size) {
+    if (q[static_cast<std::size_t>(p)] + size <= t_[static_cast<std::size_t>(p)]) {
+      return Verdict::kAdmit;
+    }
+    int v = -1;
+    std::int64_t best = std::numeric_limits<std::int64_t>::min();
+    for (int i = 0; i < static_cast<int>(t_.size()); ++i) {
+      if (i == p) continue;
+      const std::int64_t extra = t_[static_cast<std::size_t>(i)] - s_[static_cast<std::size_t>(i)];
+      if (extra > best) {
+        best = extra;
+        v = i;
+      }
+    }
+    if (v < 0) return Verdict::kDrop;
+    const auto vi = static_cast<std::size_t>(v);
+    if (t_[vi] < size || (q[vi] > 0 && t_[vi] - size < s_[vi])) return Verdict::kDrop;
+    t_[vi] -= size;
+    t_[static_cast<std::size_t>(p)] += size;
+    if (q[static_cast<std::size_t>(p)] + size > t_[static_cast<std::size_t>(p)]) {
+      t_[static_cast<std::size_t>(p)] -= size;
+      t_[vi] += size;
+      return Verdict::kDrop;
+    }
+    return Verdict::kAdjusted;
+  }
+
+  std::int64_t threshold(int i) const { return t_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::int64_t buffer_;
+  std::vector<double> weights_;
+  std::vector<std::int64_t> t_;
+  std::vector<std::int64_t> s_;
+};
+
+TEST(DynaQDifferential, OptimizedMatchesReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Rng rng(seed);
+    const int m = static_cast<int>(rng.uniform_int(2, 8));
+    std::vector<double> weights;
+    for (int i = 0; i < m; ++i) weights.push_back(static_cast<double>(rng.uniform_int(1, 4)));
+    const std::int64_t buffer = rng.uniform_int(20'000, 200'000);
+
+    DynaQConfig cfg;
+    cfg.buffer_bytes = buffer;
+    cfg.weights = weights;
+    DynaQController ctl(cfg);
+    ReferenceDynaQ ref(buffer, weights);
+
+    std::vector<std::int64_t> q(static_cast<std::size_t>(m), 0);
+    for (int step = 0; step < 30'000; ++step) {
+      for (auto& v : q) v = rng.uniform_int(0, buffer / m);
+      const int p = static_cast<int>(rng.uniform_int(0, m - 1));
+      const auto size = static_cast<std::int32_t>(rng.uniform_int(60, 9'000));
+      const auto got = ctl.on_arrival(q, p, size);
+      const auto expected = ref.arrival(q, p, size);
+      ASSERT_EQ(got, expected) << "seed=" << seed << " step=" << step;
+      for (int i = 0; i < m; ++i) {
+        ASSERT_EQ(ctl.threshold(i), ref.threshold(i)) << "seed=" << seed << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(DynaQProperty, SatisfiedQueueAlwaysAdmitsUpToItsShare) {
+  // The core guarantee behind weighted fair sharing: a queue whose
+  // occupancy is below its satisfaction threshold must ALWAYS be able to
+  // buffer the next packet (either under threshold, or by reclaiming from
+  // whoever borrowed) — as long as no queue is above its own occupancy
+  // bound (q_i <= T_i, which strict admission maintains).
+  sim::Rng rng(4);
+  DynaQConfig cfg;
+  cfg.buffer_bytes = 100'000;
+  cfg.weights = {1, 1, 1, 1};
+  DynaQController ctl(cfg);
+
+  // Occupancies tracked consistently: enqueue when admitted, random drains.
+  std::vector<std::int64_t> q(4, 0);
+  int protected_admits = 0;
+  for (int step = 0; step < 50'000; ++step) {
+    const int p = static_cast<int>(rng.uniform_int(0, 3));
+    const std::int32_t size = 1'500;
+    const auto verdict = ctl.on_arrival(q, p, size);
+    const bool under_satisfaction = q[static_cast<std::size_t>(p)] + size <= ctl.satisfaction(p);
+    if (verdict != Verdict::kDrop) {
+      q[static_cast<std::size_t>(p)] += size;
+    } else {
+      ASSERT_FALSE(under_satisfaction)
+          << "a queue below its satisfaction threshold must never be refused (step " << step
+          << ")";
+    }
+    if (under_satisfaction && verdict != Verdict::kDrop) ++protected_admits;
+    // Random drains keep the system live.
+    for (auto& v : q) {
+      if (rng.uniform() < 0.4 && v >= 1'500) v -= 1'500;
+    }
+  }
+  EXPECT_GT(protected_admits, 1'000);
+}
+
+TEST(DynaQProperty, ThresholdsTrackDemandShifts) {
+  // A queue that goes idle is gradually raided; when it becomes busy again
+  // it reclaims at least its satisfaction threshold.
+  DynaQConfig cfg;
+  cfg.buffer_bytes = 80'000;
+  cfg.weights = {1, 1};
+  DynaQController ctl(cfg);
+  std::vector<std::int64_t> q(2, 0);
+
+  // Phase 1: queue 1 idle, queue 0 grabs everything it can.
+  while (true) {
+    const auto verdict = ctl.on_arrival(q, 0, 1'000);
+    if (verdict == Verdict::kDrop) break;
+    q[0] += 1'000;
+  }
+  EXPECT_GT(ctl.threshold(0), 70'000);
+  EXPECT_LT(ctl.threshold(1), 10'000);
+
+  // Phase 2: queue 1 becomes active; as queue 0 drains, queue 1 reclaims.
+  while (q[0] > 0) {
+    q[0] -= 1'000;  // queue 0 drains and sends nothing new
+    const auto verdict = ctl.on_arrival(q, 1, 1'000);
+    if (verdict != Verdict::kDrop) q[1] += 1'000;
+  }
+  EXPECT_GE(ctl.threshold(1), ctl.satisfaction(1))
+      << "an active queue must reclaim at least its satisfaction threshold";
+  EXPECT_GE(q[1], ctl.satisfaction(1) - 1'000);
+}
+
+TEST(DynaQProperty, WeightedSharesScaleWithWeights) {
+  for (const auto& weights : std::vector<std::vector<double>>{
+           {1, 1}, {3, 1}, {4, 3, 2, 1}, {8, 4, 2, 1, 1}}) {
+    DynaQConfig cfg;
+    cfg.buffer_bytes = 120'000;
+    cfg.weights = weights;
+    DynaQController ctl(cfg);
+    double sum = 0;
+    for (double w : weights) sum += w;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double expected = 120'000.0 * weights[i] / sum;
+      EXPECT_NEAR(static_cast<double>(ctl.satisfaction(static_cast<int>(i))), expected, 2.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynaq

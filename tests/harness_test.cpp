@@ -1,0 +1,222 @@
+// Harness tests: CLI parsing, table rendering, CSV output, experiment
+// driver validation and measurement plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/cli.hpp"
+#include "harness/dynamic_experiment.hpp"
+#include "harness/static_experiment.hpp"
+#include "harness/table.hpp"
+#include "stats/csv_writer.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq {
+namespace {
+
+// ---------------------------------------------------------------- CLI --
+
+harness::Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return harness::Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const auto cli = make_cli({"--flows=500", "--load", "0.7"});
+  EXPECT_EQ(cli.integer("flows", 0), 500);
+  EXPECT_DOUBLE_EQ(cli.real("load", 0.0), 0.7);
+}
+
+TEST(Cli, BooleanFlags) {
+  const auto cli = make_cli({"--full", "--verbose=false"});
+  EXPECT_TRUE(cli.flag("full"));
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_FALSE(cli.flag("absent"));
+  EXPECT_TRUE(cli.flag("absent", true));
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const auto cli = make_cli({});
+  EXPECT_EQ(cli.integer("n", 42), 42);
+  EXPECT_EQ(cli.text("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(Cli, CommaSeparatedReals) {
+  const auto cli = make_cli({"--loads=0.3,0.5,0.8"});
+  const auto loads = cli.reals("loads", {});
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_DOUBLE_EQ(loads[1], 0.5);
+  const auto fallback = cli.reals("other", {1.0});
+  ASSERT_EQ(fallback.size(), 1u);
+}
+
+// -------------------------------------------------------------- Table --
+
+TEST(Table, AlignsColumns) {
+  harness::Table t({"a", "long_header"});
+  t.row({"xxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Three lines: header, rule, row.
+  EXPECT_NE(out.find("a     long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  1"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(harness::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(harness::Table::num(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------- CsvWriter --
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/dynaq_csv_test.csv";
+  {
+    stats::CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.header({"t", "gbps"});
+    csv.row({0.5, 1.25});
+    csv.row({1.0, 2.5});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,gbps");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.5,1.25");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ experiment drivers --
+
+TEST(StaticExperiment, RejectsUnknownQueue) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.queue_weights = {1, 1};
+  cfg.groups = {{.queue = 5, .num_flows = 1, .first_src_host = 1, .num_src_hosts = 1,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno}};
+  EXPECT_THROW(harness::run_static_experiment(cfg), std::invalid_argument);
+}
+
+TEST(StaticExperiment, MeterWindowsCoverDuration) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 3;
+  cfg.groups = {{.queue = 0, .num_flows = 1, .first_src_host = 1, .num_src_hosts = 1,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno}};
+  cfg.duration = seconds(std::int64_t{1});
+  cfg.meter_window = milliseconds(std::int64_t{100});
+  const auto r = harness::run_static_experiment(cfg);
+  EXPECT_GE(r.meter.num_windows(), 9u);
+  EXPECT_LE(r.meter.num_windows(), 11u);
+  EXPECT_GT(r.events, 1000u);
+}
+
+TEST(StaticExperiment, DeterministicAcrossRuns) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 4;
+  cfg.groups = {
+      {.queue = 0, .num_flows = 3, .first_src_host = 1, .num_src_hosts = 2,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+      {.queue = 1, .num_flows = 5, .first_src_host = 1, .num_src_hosts = 2,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+  };
+  cfg.duration = seconds(std::int64_t{1});
+  cfg.seed = 77;
+  const auto a = harness::run_static_experiment(cfg);
+  const auto b = harness::run_static_experiment(cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.bottleneck_stats.dropped, b.bottleneck_stats.dropped);
+  for (std::size_t w = 0; w < a.meter.num_windows(); ++w) {
+    EXPECT_DOUBLE_EQ(a.meter.gbps(w, 0), b.meter.gbps(w, 0));
+  }
+}
+
+TEST(StaticExperiment, SeedChangesJitterOnly) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 3;
+  cfg.groups = {{.queue = 0, .num_flows = 4, .first_src_host = 1, .num_src_hosts = 1,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno}};
+  cfg.duration = seconds(std::int64_t{1});
+  cfg.seed = 1;
+  const auto a = harness::run_static_experiment(cfg);
+  cfg.seed = 2;
+  const auto b = harness::run_static_experiment(cfg);
+  EXPECT_NE(a.events, b.events) << "different jitter should perturb the trajectory";
+  // But both saturate the link.
+  EXPECT_NEAR(a.meter.mean_gbps(0, 5, a.meter.num_windows()),
+              b.meter.mean_gbps(0, 5, b.meter.num_windows()), 0.05);
+}
+
+TEST(DynamicStarExperiment, RequiresDistribution) {
+  harness::DynamicStarConfig cfg;
+  cfg.dist = nullptr;
+  EXPECT_THROW(harness::run_dynamic_star_experiment(cfg), std::invalid_argument);
+}
+
+TEST(DynamicStarExperiment, RequiresDedicatedQueues) {
+  harness::DynamicStarConfig cfg;
+  cfg.dist = &workload::web_search_workload();
+  cfg.star.queue_weights = {1};
+  cfg.first_service_queue = 1;
+  EXPECT_THROW(harness::run_dynamic_star_experiment(cfg), std::invalid_argument);
+}
+
+TEST(DynamicStarExperiment, RecordsEveryFlowOnce) {
+  harness::DynamicStarConfig cfg;
+  cfg.star.num_hosts = 5;
+  cfg.star.queue_weights = {1, 1, 1, 1, 1};
+  cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
+  cfg.num_flows = 300;
+  cfg.load = 0.4;
+  cfg.dist = &workload::web_search_workload();
+  cfg.seed = 9;
+  const auto r = harness::run_dynamic_star_experiment(cfg);
+  EXPECT_EQ(r.incomplete, 0u);
+  ASSERT_EQ(r.fcts.count(), 300u);
+  std::set<std::uint64_t> ids;
+  for (const auto& rec : r.fcts.records()) {
+    EXPECT_GT(rec.finish, rec.start);
+    EXPECT_GT(rec.size_bytes, 0);
+    ids.insert(rec.flow_id);
+  }
+  EXPECT_EQ(ids.size(), 300u) << "every flow id recorded exactly once";
+}
+
+TEST(DynamicLeafSpineExperiment, RejectsTooManyServices) {
+  harness::DynamicLeafSpineConfig cfg;
+  cfg.fabric.queue_weights = {1, 1, 1};
+  cfg.num_services = 7;
+  EXPECT_THROW(harness::run_dynamic_leaf_spine_experiment(cfg), std::invalid_argument);
+}
+
+TEST(DynamicLeafSpineExperiment, LoadScalesDuration) {
+  // Same flows at half the load should take roughly twice the time span.
+  harness::DynamicLeafSpineConfig cfg;
+  cfg.fabric.num_leaves = 3;
+  cfg.fabric.num_spines = 3;
+  cfg.fabric.hosts_per_leaf = 3;
+  cfg.num_flows = 400;
+  cfg.seed = 4;
+  cfg.load = 0.8;
+  const auto high = harness::run_dynamic_leaf_spine_experiment(cfg);
+  cfg.load = 0.4;
+  const auto low = harness::run_dynamic_leaf_spine_experiment(cfg);
+  ASSERT_EQ(high.incomplete, 0u);
+  ASSERT_EQ(low.incomplete, 0u);
+  Time span_high = 0;
+  Time span_low = 0;
+  for (const auto& rec : high.fcts.records()) span_high = std::max(span_high, rec.start);
+  for (const auto& rec : low.fcts.records()) span_low = std::max(span_low, rec.start);
+  EXPECT_NEAR(static_cast<double>(span_low) / static_cast<double>(span_high), 2.0, 0.4);
+}
+
+}  // namespace
+}  // namespace dynaq

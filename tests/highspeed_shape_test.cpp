@@ -1,0 +1,114 @@
+// Shape regression tests at the paper's simulation operating points: the
+// headline Fig. 10/12 behaviours distilled into fast assertions, plus a
+// parameterized timing sweep of the port model across rates and MTUs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/static_experiment.hpp"
+#include "net/node.hpp"
+#include "net/port.hpp"
+#include "sim/simulator.hpp"
+#include "stats/fairness.hpp"
+
+namespace dynaq {
+namespace {
+
+harness::StaticExperimentConfig sim10g(core::SchemeKind kind, int senders_q1) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 1 + senders_q1;
+  cfg.star.link_rate_bps = 10e9;
+  cfg.star.link_delay = microseconds(std::int64_t{21});
+  cfg.star.buffer_bytes = 192'000;
+  cfg.star.queue_weights.assign(8, 1.0);
+  cfg.star.scheme.kind = kind;
+  cfg.star.scheduler = topo::SchedulerKind::kWrr;
+  cfg.groups = {{.queue = 0, .num_flows = senders_q1, .first_src_host = 1,
+                 .num_src_hosts = senders_q1, .start = 0, .stop = 0,
+                 .cc = transport::CcKind::kNewReno}};
+  cfg.duration = seconds(std::int64_t{1});
+  cfg.meter_window = milliseconds(std::int64_t{100});
+  cfg.rto_min = milliseconds(std::int64_t{5});
+  return cfg;
+}
+
+TEST(HighSpeedShape, Fig10SingleActiveQueuePqlCollapsesDynaQDoesNot) {
+  // The end state of Fig. 10: one queue of 8 active, 2 senders, 10 Gbps.
+  const auto pql = harness::run_static_experiment(sim10g(core::SchemeKind::kPql, 2));
+  const auto dq = harness::run_static_experiment(sim10g(core::SchemeKind::kDynaQ, 2));
+  const double pql_gbps = pql.meter.mean_gbps(0, 3, pql.meter.num_windows());
+  const double dq_gbps = dq.meter.mean_gbps(0, 3, dq.meter.num_windows());
+  EXPECT_LT(pql_gbps, 9.5) << "PQL must lose throughput (paper: ~8.5G)";
+  EXPECT_GT(dq_gbps, 9.8) << "DynaQ must stay work-conserving (paper: ~10G)";
+}
+
+TEST(HighSpeedShape, Fig12ExtremeFlowCountsStayWeightedFair) {
+  // A compressed Fig. 12 moment: queues with 16 vs 256 single-flow senders
+  // must still split a 10G link evenly under DynaQ.
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 1 + 16 + 256;
+  cfg.star.link_rate_bps = 10e9;
+  cfg.star.link_delay = microseconds(std::int64_t{21});
+  cfg.star.buffer_bytes = 192'000;
+  cfg.star.queue_weights = {1, 1};
+  cfg.star.scheme.kind = core::SchemeKind::kDynaQ;
+  cfg.star.scheduler = topo::SchedulerKind::kWrr;
+  cfg.groups = {
+      {.queue = 0, .num_flows = 16, .first_src_host = 1, .num_src_hosts = 16,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+      {.queue = 1, .num_flows = 256, .first_src_host = 17, .num_src_hosts = 256,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+  };
+  cfg.duration = seconds(std::int64_t{1});
+  cfg.meter_window = milliseconds(std::int64_t{50});
+  cfg.rto_min = milliseconds(std::int64_t{5});
+  const auto r = harness::run_static_experiment(cfg);
+  // Skip the 272-flow slow-start storm; judge the steady half-second. A
+  // ~10% residual skew toward the many-flow queue remains at this
+  // compressed scale (the paper-scale Fig. 12 bench splits exactly).
+  const double q0 = r.meter.mean_gbps(0, 10, r.meter.num_windows());
+  const double q1 = r.meter.mean_gbps(1, 10, r.meter.num_windows());
+  EXPECT_NEAR(q0, 5.0, 0.75);
+  EXPECT_NEAR(q1, 5.0, 0.75);
+  EXPECT_GT(q0 + q1, 9.5) << "work conservation";
+}
+
+// ------------------------------------------- port timing sweep --
+
+struct PortParam {
+  double rate_bps;
+  std::int32_t payload;
+};
+
+class PortTiming : public ::testing::TestWithParam<PortParam> {};
+
+TEST_P(PortTiming, DeliveryTimeIsSerializationPlusPropagation) {
+  const auto param = GetParam();
+  sim::Simulator sim;
+  const Time prop = microseconds(std::int64_t{10});
+  auto tx = std::make_unique<net::Port>(sim, param.rate_bps, prop,
+                                        std::make_unique<net::DropTailQueue>());
+  auto rx = std::make_unique<net::Port>(sim, param.rate_bps, prop,
+                                        std::make_unique<net::DropTailQueue>());
+  net::connect(*tx, *rx);
+  Time delivered = -1;
+  rx->set_receiver([&](net::Packet&&) { delivered = sim.now(); });
+  tx->send(net::make_data_packet(1, 0, 1, 0, param.payload));
+  sim.run();
+  const Time expected =
+      transmission_time(param.payload + net::kHeaderBytes, param.rate_bps) + prop;
+  ASSERT_EQ(delivered, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndSizes, PortTiming,
+    ::testing::Values(PortParam{1e9, 1460}, PortParam{10e9, 1460}, PortParam{100e9, 1460},
+                      PortParam{100e9, 8960}, PortParam{1e9, 1}, PortParam{40e9, 8960},
+                      PortParam{25e9, 256}),
+    [](const auto& info) {
+      return "r" + std::to_string(static_cast<long long>(info.param.rate_bps / 1e6)) + "M_p" +
+             std::to_string(info.param.payload);
+    });
+
+}  // namespace
+}  // namespace dynaq

@@ -1,0 +1,167 @@
+// End-to-end integration tests across sim + net + core + transport + topo:
+// real flows over real topologies, checking completion, throughput,
+// fairness and work conservation.
+#include <gtest/gtest.h>
+
+#include "harness/dynamic_experiment.hpp"
+#include "harness/static_experiment.hpp"
+#include "sim/simulator.hpp"
+#include "stats/fairness.hpp"
+#include "topo/leaf_spine.hpp"
+#include "topo/star.hpp"
+#include "transport/host_agent.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq {
+namespace {
+
+topo::StarConfig small_star(core::SchemeKind kind) {
+  topo::StarConfig cfg;
+  cfg.num_hosts = 5;
+  cfg.link_rate_bps = 1e9;
+  cfg.link_delay = microseconds(std::int64_t{125});  // ~500 us base RTT
+  cfg.buffer_bytes = 85'000;
+  cfg.queue_weights = {1, 1, 1, 1};
+  cfg.scheme.kind = kind;
+  cfg.scheduler = topo::SchedulerKind::kDrr;
+  return cfg;
+}
+
+TEST(Integration, SingleFlowCompletesWithPlausibleFct) {
+  sim::Simulator sim;
+  topo::StarTopology topo(sim, small_star(core::SchemeKind::kDynaQ));
+
+  transport::FlowParams params;
+  params.id = 1;
+  params.src_host = 1;
+  params.dst_host = 0;
+  params.size_bytes = 1'000'000;  // 1 MB
+  params.start = 0;
+  params.service_queue = 0;
+
+  Time finish = -1;
+  auto& rx = topo.agent(0).add_receiver(params);
+  rx.on_complete = [&finish](const transport::FlowReceiver& r) { finish = r.completion_time(); };
+  topo.agent(1).add_sender(params).start();
+
+  sim.run_until(seconds(std::int64_t{10}));
+  ASSERT_GT(finish, 0);
+  // 1 MB at ~0.95 Gbps goodput is ~8.4 ms plus slow-start ramp; anything
+  // between the line-rate bound and 3x of it is sane.
+  const double fct_ms = to_milliseconds(finish);
+  EXPECT_GT(fct_ms, 8.0);
+  EXPECT_LT(fct_ms, 30.0);
+}
+
+TEST(Integration, SingleLongFlowSaturatesLink) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star = small_star(core::SchemeKind::kDynaQ);
+  cfg.groups = {{.queue = 0, .num_flows = 1, .first_src_host = 1, .num_src_hosts = 1,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno}};
+  cfg.duration = seconds(std::int64_t{2});
+  cfg.meter_window = milliseconds(std::int64_t{100});
+
+  const auto result = harness::run_static_experiment(cfg);
+  // Skip the ramp-up; later windows should be near line rate (1 Gbps wire).
+  const double gbps = result.meter.mean_gbps(0, 5, result.meter.num_windows());
+  EXPECT_GT(gbps, 0.95);
+  EXPECT_LE(gbps, 1.01);
+}
+
+TEST(Integration, DynaQSharesFairlyAcrossUnevenFlowCounts) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star = small_star(core::SchemeKind::kDynaQ);
+  // The Fig. 3 setup: queue 0 has 2 flows, queue 1 has 16 flows.
+  cfg.groups = {
+      {.queue = 0, .num_flows = 2, .first_src_host = 1, .num_src_hosts = 1,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+      {.queue = 1, .num_flows = 16, .first_src_host = 2, .num_src_hosts = 1,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+  };
+  cfg.duration = seconds(std::int64_t{4});
+  cfg.meter_window = milliseconds(std::int64_t{500});
+
+  const auto result = harness::run_static_experiment(cfg);
+  const auto last = result.meter.num_windows();
+  const double q0 = result.meter.mean_gbps(0, 2, last);
+  const double q1 = result.meter.mean_gbps(1, 2, last);
+  EXPECT_NEAR(q0, q1, 0.12) << "DynaQ should equalize DRR queues regardless of flow count";
+  EXPECT_GT(q0 + q1, 0.90) << "aggregate should stay near line rate";
+}
+
+TEST(Integration, BestEffortViolatesFairnessUnderUnevenFlowCounts) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star = small_star(core::SchemeKind::kBestEffort);
+  cfg.groups = {
+      {.queue = 0, .num_flows = 2, .first_src_host = 1, .num_src_hosts = 1,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+      {.queue = 1, .num_flows = 16, .first_src_host = 2, .num_src_hosts = 1,
+       .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+  };
+  cfg.duration = seconds(std::int64_t{6});
+
+  const auto result = harness::run_static_experiment(cfg);
+  const auto last = result.meter.num_windows();
+  const double q0 = result.meter.mean_gbps(0, 4, last);
+  const double q1 = result.meter.mean_gbps(1, 4, last);
+  EXPECT_GT(q1, q0 * 1.25) << "the 16-flow queue should skew the shared buffer in its favour";
+}
+
+TEST(Integration, PqlIsNotWorkConservingWithOneActiveQueue) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star = small_star(core::SchemeKind::kPql);
+  // One active queue out of four: PQL caps its buffer at B/4 = 21.25 KB,
+  // below the 62.5 KB BDP, so the sawtooth dips below full utilization.
+  // Two sender hosts keep the standing queue at the switch port.
+  cfg.groups = {{.queue = 0, .num_flows = 2, .first_src_host = 1, .num_src_hosts = 2,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno}};
+  cfg.duration = seconds(std::int64_t{4});
+
+  const auto result = harness::run_static_experiment(cfg);
+  const double gbps = result.meter.mean_gbps(0, 2, result.meter.num_windows());
+  EXPECT_LT(gbps, 0.96) << "PQL should lose throughput when few queues are active";
+
+  harness::StaticExperimentConfig dq = cfg;
+  dq.star = small_star(core::SchemeKind::kDynaQ);
+  const auto dq_result = harness::run_static_experiment(dq);
+  const double dq_gbps = dq_result.meter.mean_gbps(0, 2, dq_result.meter.num_windows());
+  EXPECT_GT(dq_gbps, 0.97) << "DynaQ should stay work-conserving";
+  EXPECT_GT(dq_gbps, gbps) << "DynaQ should beat PQL with few active queues";
+}
+
+TEST(Integration, DynamicStarFlowsAllComplete) {
+  harness::DynamicStarConfig cfg;
+  cfg.star = small_star(core::SchemeKind::kDynaQ);
+  cfg.star.queue_weights = {1, 1, 1, 1, 1};  // SPQ + 4 DRR
+  cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
+  cfg.num_flows = 200;
+  cfg.load = 0.5;
+  cfg.dist = &workload::web_search_workload();
+  cfg.seed = 3;
+
+  const auto result = harness::run_dynamic_star_experiment(cfg);
+  EXPECT_EQ(result.incomplete, 0u);
+  EXPECT_EQ(result.fcts.count(), 200u);
+  const auto summary = result.fcts.summarize();
+  EXPECT_GT(summary.avg_overall_ms, 0.0);
+  EXPECT_GE(summary.p99_small_ms, summary.avg_small_ms * 0.5);
+}
+
+TEST(Integration, LeafSpineFlowsCompleteAcrossRacks) {
+  harness::DynamicLeafSpineConfig cfg;
+  cfg.fabric.num_leaves = 4;
+  cfg.fabric.num_spines = 4;
+  cfg.fabric.hosts_per_leaf = 4;
+  cfg.fabric.queue_weights = {1, 1, 1, 1, 1, 1, 1, 1};
+  cfg.fabric.scheme.kind = core::SchemeKind::kDynaQ;
+  cfg.num_flows = 150;
+  cfg.load = 0.4;
+  cfg.seed = 5;
+
+  const auto result = harness::run_dynamic_leaf_spine_experiment(cfg);
+  EXPECT_EQ(result.incomplete, 0u);
+  EXPECT_EQ(result.fcts.count(), 150u);
+}
+
+}  // namespace
+}  // namespace dynaq

@@ -1,0 +1,189 @@
+// SACK machinery tests: receiver block advertisement, sender scoreboard
+// merging, hole scanning, pipe accounting, and burst-loss recovery without
+// RTOs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "net/node.hpp"
+#include "net/port.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "transport/host_agent.hpp"
+
+namespace dynaq {
+namespace {
+
+// A two-host pipe with a loss-injection queue on the sender NIC.
+class LossQueue final : public net::QueueDisc {
+ public:
+  explicit LossQueue(std::set<std::uint64_t> drops) : drops_(std::move(drops)) {}
+  bool enqueue(net::Packet&& p) override {
+    if (!p.is_ack() && drops_.erase(seen_++) > 0) return false;
+    return inner_.enqueue(std::move(p));
+  }
+  std::optional<net::Packet> dequeue() override { return inner_.dequeue(); }
+  bool empty() const override { return inner_.empty(); }
+  std::int64_t backlog_bytes() const override { return inner_.backlog_bytes(); }
+
+ private:
+  std::set<std::uint64_t> drops_;
+  std::uint64_t seen_ = 0;
+  net::DropTailQueue inner_;
+};
+
+struct Pipe {
+  sim::Simulator sim;
+  std::unique_ptr<net::Host> a, b;
+  std::unique_ptr<transport::HostAgent> agent_a, agent_b;
+  std::vector<net::Packet> acks_seen;  // sniffed at the sender side
+
+  explicit Pipe(std::set<std::uint64_t> drops = {}) {
+    auto nic_a = std::make_unique<net::Port>(sim, 1e9, microseconds(std::int64_t{50}),
+                                             std::make_unique<LossQueue>(std::move(drops)));
+    auto nic_b = std::make_unique<net::Port>(sim, 1e9, microseconds(std::int64_t{50}),
+                                             std::make_unique<net::DropTailQueue>());
+    net::connect(*nic_a, *nic_b);
+    a = std::make_unique<net::Host>(sim, 0, std::move(nic_a));
+    b = std::make_unique<net::Host>(sim, 1, std::move(nic_b));
+    agent_a = std::make_unique<transport::HostAgent>(*a);
+    agent_b = std::make_unique<transport::HostAgent>(*b);
+  }
+};
+
+transport::FlowParams flow_of(std::int64_t bytes, bool sack = true) {
+  transport::FlowParams p;
+  p.id = 1;
+  p.src_host = 0;
+  p.dst_host = 1;
+  p.size_bytes = bytes;
+  p.sack = sack;
+  p.rto_min = milliseconds(std::int64_t{10});
+  return p;
+}
+
+TEST(SackReceiver, AdvertisesOutOfOrderBlocks) {
+  Pipe pipe({1});  // drop the 2nd data packet
+  const auto params = flow_of(14'600);
+  pipe.agent_b->add_receiver(params);
+  // Sniff ACKs by wrapping the sender host's handler before the agent's
+  // sender consumes them: instead, inspect via scoreboard below. Here we
+  // directly check the receiver's behaviour through a custom host handler.
+  bool saw_sack = false;
+  pipe.a->set_packet_handler([&](net::Packet&& p) {
+    if (p.is_ack() && p.num_sack > 0) {
+      saw_sack = true;
+      EXPECT_GT(p.sack[0].start, p.seq) << "SACK blocks lie above the cumulative ACK";
+      EXPECT_GT(p.sack[0].end, p.sack[0].start);
+    }
+  });
+  // Drive the receiver manually with out-of-order data.
+  auto& rx = pipe.agent_b->add_receiver([] {
+    transport::FlowParams q;
+    q.id = 2;
+    q.src_host = 0;
+    q.dst_host = 1;
+    q.size_bytes = 10'000;
+    return q;
+  }());
+  net::Packet seg = net::make_data_packet(2, 0, 1, 2'000, 1'000);  // hole at [0,2000)
+  rx.on_data(seg);
+  pipe.sim.run();
+  EXPECT_TRUE(saw_sack);
+  EXPECT_EQ(rx.rcv_nxt(), 0u);
+}
+
+TEST(SackSender, ScoreboardTracksBlocks) {
+  Pipe pipe;
+  auto& tx = pipe.agent_a->add_sender(flow_of(0));
+  // Feed crafted ACKs directly.
+  net::Packet ack = net::make_ack_packet(1, 1, 0, 0);
+  ack.num_sack = 2;
+  ack.sack[0] = {3'000, 4'500};
+  ack.sack[1] = {6'000, 7'500};
+  tx.start();
+  pipe.sim.run_until(microseconds(std::int64_t{1}));  // emit initial window
+  tx.on_ack(ack);
+  EXPECT_EQ(tx.sacked_bytes(), 3'000);
+  EXPECT_EQ(tx.highest_sacked(), 7'500u);
+
+  // Overlapping block merges.
+  net::Packet ack2 = net::make_ack_packet(1, 1, 0, 0);
+  ack2.num_sack = 1;
+  ack2.sack[0] = {4'000, 6'500};
+  tx.on_ack(ack2);
+  EXPECT_EQ(tx.sacked_bytes(), 4'500);  // [3000,7500) contiguous
+}
+
+TEST(SackSender, CumulativeAckPrunesScoreboard) {
+  Pipe pipe;
+  auto& tx = pipe.agent_a->add_sender(flow_of(0));
+  tx.start();
+  pipe.sim.run_until(microseconds(std::int64_t{1}));
+  net::Packet ack = net::make_ack_packet(1, 1, 0, 0);
+  ack.num_sack = 1;
+  ack.sack[0] = {3'000, 6'000};
+  tx.on_ack(ack);
+  ASSERT_EQ(tx.sacked_bytes(), 3'000);
+
+  net::Packet cum = net::make_ack_packet(1, 1, 0, 4'500);
+  tx.on_ack(cum);
+  EXPECT_EQ(tx.sacked_bytes(), 1'500) << "bytes below snd_una must be pruned";
+  EXPECT_EQ(tx.snd_una(), 4'500u);
+}
+
+TEST(SackEndToEnd, BurstLossRecoversWithoutTimeout) {
+  // Drop 5 of the first 10 packets: NewReno without SACK would need ~5
+  // partial-ACK rounds or an RTO; SACK recovery refills all holes fast.
+  Pipe pipe({2, 4, 5, 7, 8});
+  const auto params = flow_of(100'000);
+  Time done = -1;
+  pipe.agent_b->add_receiver(params).on_complete =
+      [&](const transport::FlowReceiver& r) { done = r.completion_time(); };
+  auto& tx = pipe.agent_a->add_sender(params);
+  tx.start();
+  pipe.sim.run();
+  ASSERT_GT(done, 0);
+  EXPECT_EQ(tx.stats().timeouts, 0u) << "SACK must recover the burst without RTO";
+  EXPECT_LT(to_milliseconds(done), 5.0);
+  EXPECT_GE(tx.stats().retransmissions, 5u);
+  EXPECT_LE(tx.stats().retransmissions, 8u) << "no spurious mass retransmission";
+}
+
+TEST(SackEndToEnd, NoSackFallsBackToNewReno) {
+  Pipe pipe({2, 4, 5, 7, 8});
+  const auto params = flow_of(100'000, /*sack=*/false);
+  Time done = -1;
+  pipe.agent_b->add_receiver(params).on_complete =
+      [&](const transport::FlowReceiver& r) { done = r.completion_time(); };
+  auto& tx = pipe.agent_a->add_sender(params);
+  tx.start();
+  pipe.sim.run_until(seconds(std::int64_t{5}));
+  ASSERT_GT(done, 0) << "NewReno must still complete";
+  // NewReno recovers one hole per RTT (or worse); SACK recovery above was
+  // faster or equal.
+  EXPECT_GE(tx.stats().retransmissions, 5u);
+}
+
+TEST(SackEndToEnd, ManySeedsNeverStall) {
+  // Property sweep: random loss patterns must never wedge the connection.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    std::set<std::uint64_t> drops;
+    for (int i = 0; i < 8; ++i) {
+      drops.insert(static_cast<std::uint64_t>(rng.uniform_int(0, 60)));
+    }
+    Pipe pipe(drops);
+    const auto params = flow_of(80'000);
+    Time done = -1;
+    pipe.agent_b->add_receiver(params).on_complete =
+        [&](const transport::FlowReceiver& r) { done = r.completion_time(); };
+    pipe.agent_a->add_sender(params).start();
+    pipe.sim.run_until(seconds(std::int64_t{30}));
+    ASSERT_GT(done, 0) << "seed " << seed << " stalled";
+  }
+}
+
+}  // namespace
+}  // namespace dynaq

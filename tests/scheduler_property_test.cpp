@@ -1,0 +1,174 @@
+// Property sweeps over all schedulers: work conservation, validity of the
+// picked queue, termination, and long-run (weighted) byte fairness under
+// random packet sizes and arrival patterns.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/schedulers.hpp"
+#include "sim/random.hpp"
+
+namespace dynaq {
+namespace {
+
+enum class Kind { kFifo, kSpq, kDrr, kWrr, kSpqOverDrr };
+
+std::unique_ptr<net::SchedulerPolicy> make(Kind kind) {
+  switch (kind) {
+    case Kind::kFifo: return std::make_unique<net::FifoScheduler>();
+    case Kind::kSpq: return std::make_unique<net::SpqScheduler>();
+    case Kind::kDrr: return std::make_unique<net::DrrScheduler>(1500);
+    case Kind::kWrr: return std::make_unique<net::WrrScheduler>();
+    case Kind::kSpqOverDrr:
+      return std::make_unique<net::SpqOverScheduler>(std::make_unique<net::DrrScheduler>(1500));
+  }
+  return nullptr;
+}
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kFifo: return "fifo";
+    case Kind::kSpq: return "spq";
+    case Kind::kDrr: return "drr";
+    case Kind::kWrr: return "wrr";
+    case Kind::kSpqOverDrr: return "spqdrr";
+  }
+  return "?";
+}
+
+struct Param {
+  Kind kind;
+  int queues;
+  std::uint64_t seed;
+};
+
+class SchedulerProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  net::MqState make_state(int queues) {
+    net::MqState s;
+    s.buffer_bytes = 1'000'000'000;
+    s.queues.resize(static_cast<std::size_t>(queues));
+    for (auto& q : s.queues) q.weight = 1.0;
+    return s;
+  }
+
+  void push(net::MqState& s, net::SchedulerPolicy& sched, int q, std::int32_t wire_size) {
+    net::Packet p = net::make_data_packet(1, 0, 1, 0, wire_size - net::kHeaderBytes);
+    p.queue = static_cast<std::uint8_t>(q);
+    s.queue(q).bytes += p.size;
+    s.port_bytes += p.size;
+    s.queue(q).packets.push_back(std::move(p));
+    sched.on_enqueue(s, q);
+  }
+
+  std::int64_t pop(net::MqState& s, int q) {
+    net::Packet p = std::move(s.queue(q).packets.front());
+    s.queue(q).packets.pop_front();
+    s.queue(q).bytes -= p.size;
+    s.port_bytes -= p.size;
+    return p.size;
+  }
+};
+
+TEST_P(SchedulerProperties, NeverPicksEmptyOrInvalidQueue) {
+  const auto param = GetParam();
+  auto sched = make(param.kind);
+  auto s = make_state(param.queues);
+  sched->attach(s);
+  sim::Rng rng(param.seed);
+
+  for (int step = 0; step < 20'000; ++step) {
+    if (rng.uniform() < 0.55) {
+      push(s, *sched, static_cast<int>(rng.uniform_int(0, param.queues - 1)),
+           static_cast<std::int32_t>(rng.uniform_int(64, 1500)));
+    } else {
+      const int q = sched->next_queue(s);
+      if (s.port_bytes == 0) {
+        ASSERT_EQ(q, -1) << "no backlog must yield -1";
+      } else {
+        ASSERT_GE(q, 0) << "work conservation: backlog exists";
+        ASSERT_LT(q, param.queues);
+        ASSERT_FALSE(s.queue(q).empty()) << "picked queue must hold a packet";
+        pop(s, q);
+      }
+    }
+  }
+}
+
+TEST_P(SchedulerProperties, DrainsEverythingEventually) {
+  const auto param = GetParam();
+  auto sched = make(param.kind);
+  auto s = make_state(param.queues);
+  sched->attach(s);
+  sim::Rng rng(param.seed + 1);
+
+  int pushed = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    push(s, *sched, static_cast<int>(rng.uniform_int(0, param.queues - 1)),
+         static_cast<std::int32_t>(rng.uniform_int(64, 1500)));
+    ++pushed;
+  }
+  int popped = 0;
+  while (true) {
+    const int q = sched->next_queue(s);
+    if (q < 0) break;
+    pop(s, q);
+    ++popped;
+  }
+  EXPECT_EQ(popped, pushed);
+  EXPECT_EQ(s.port_bytes, 0);
+}
+
+TEST_P(SchedulerProperties, BackloggedQueuesShareBytes) {
+  const auto param = GetParam();
+  if (param.kind == Kind::kFifo || param.kind == Kind::kSpq) {
+    GTEST_SKIP() << "fairness only applies to round-robin schedulers";
+  }
+  auto sched = make(param.kind);
+  auto s = make_state(param.queues);
+  sched->attach(s);
+  sim::Rng rng(param.seed + 2);
+
+  // The strict-priority queue of SPQ-over must stay empty for the DRR
+  // group to be measured.
+  const int lo = param.kind == Kind::kSpqOverDrr ? 1 : 0;
+  std::vector<std::int64_t> served(static_cast<std::size_t>(param.queues), 0);
+  // Keep every measured queue constantly backlogged with random sizes.
+  auto refill = [&] {
+    for (int q = lo; q < param.queues; ++q) {
+      while (s.queue(q).packets.size() < 4) {
+        push(s, *sched, q, static_cast<std::int32_t>(rng.uniform_int(64, 1500)));
+      }
+    }
+  };
+  refill();
+  std::int64_t total = 0;
+  while (total < 30'000'000) {
+    const int q = sched->next_queue(s);
+    ASSERT_GE(q, lo);
+    const std::int64_t bytes = pop(s, q);
+    served[static_cast<std::size_t>(q)] += bytes;
+    total += bytes;
+    refill();
+  }
+  const double expected = static_cast<double>(total) / static_cast<double>(param.queues - lo);
+  for (int q = lo; q < param.queues; ++q) {
+    EXPECT_NEAR(static_cast<double>(served[static_cast<std::size_t>(q)]) / expected, 1.0, 0.05)
+        << "queue " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperties,
+    ::testing::Values(Param{Kind::kFifo, 4, 1}, Param{Kind::kSpq, 4, 2}, Param{Kind::kDrr, 4, 3},
+                      Param{Kind::kDrr, 8, 4}, Param{Kind::kWrr, 4, 5}, Param{Kind::kWrr, 8, 6},
+                      Param{Kind::kSpqOverDrr, 5, 7}, Param{Kind::kSpqOverDrr, 8, 8},
+                      Param{Kind::kDrr, 2, 9}, Param{Kind::kWrr, 2, 10}),
+    [](const auto& info) {
+      return kind_name(info.param.kind) + "_q" + std::to_string(info.param.queues) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace dynaq

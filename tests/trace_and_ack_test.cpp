@@ -1,0 +1,212 @@
+// Tests for the packet tracer, delayed ACKs and the socket-buffer window
+// cap.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/node.hpp"
+#include "net/packet_trace.hpp"
+#include "net/port.hpp"
+#include "sim/simulator.hpp"
+#include "transport/host_agent.hpp"
+
+namespace dynaq {
+namespace {
+
+struct Pipe {
+  sim::Simulator sim;
+  std::unique_ptr<net::Host> a, b;
+  std::unique_ptr<transport::HostAgent> agent_a, agent_b;
+
+  Pipe() {
+    auto nic_a = std::make_unique<net::Port>(sim, 1e9, microseconds(std::int64_t{50}),
+                                             std::make_unique<net::DropTailQueue>());
+    auto nic_b = std::make_unique<net::Port>(sim, 1e9, microseconds(std::int64_t{50}),
+                                             std::make_unique<net::DropTailQueue>());
+    net::connect(*nic_a, *nic_b);
+    a = std::make_unique<net::Host>(sim, 0, std::move(nic_a));
+    b = std::make_unique<net::Host>(sim, 1, std::move(nic_b));
+    agent_a = std::make_unique<transport::HostAgent>(*a);
+    agent_b = std::make_unique<transport::HostAgent>(*b);
+  }
+};
+
+transport::FlowParams flow_of(std::int64_t bytes) {
+  transport::FlowParams p;
+  p.id = 1;
+  p.src_host = 0;
+  p.dst_host = 1;
+  p.size_bytes = bytes;
+  return p;
+}
+
+// ------------------------------------------------------------- tracer --
+
+TEST(PacketTracer, RecordsTransmitAndDeliverWithTimestamps) {
+  Pipe pipe;
+  net::PacketTracer tracer(pipe.sim);
+  tracer.attach(pipe.a->nic(), "h0.nic");
+
+  const auto params = flow_of(1'460);
+  pipe.agent_b->add_receiver(params);
+  pipe.agent_a->add_sender(params).start();
+  pipe.sim.run();
+
+  // One data packet transmitted from h0; its ACK delivered back to h0.
+  ASSERT_GE(tracer.events().size(), 2u);
+  const auto& tx = tracer.events().front();
+  EXPECT_TRUE(tx.transmit);
+  EXPECT_FALSE(tx.is_ack);
+  EXPECT_EQ(tx.point, "h0.nic");
+  EXPECT_EQ(tx.size, 1'500);
+  bool saw_ack_rx = false;
+  for (const auto& e : tracer.events()) {
+    if (!e.transmit && e.is_ack) {
+      saw_ack_rx = true;
+      EXPECT_EQ(e.seq, 1'460u);
+      EXPECT_GT(e.when, tx.when);
+    }
+  }
+  EXPECT_TRUE(saw_ack_rx);
+}
+
+TEST(PacketTracer, FlowFilterExcludesOthers) {
+  Pipe pipe;
+  net::PacketTracer tracer(pipe.sim);
+  tracer.filter_flow(2);
+  tracer.attach(pipe.a->nic(), "h0");
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    transport::FlowParams params = flow_of(1'460);
+    params.id = id;
+    pipe.agent_b->add_receiver(params);
+    pipe.agent_a->add_sender(params).start();
+  }
+  pipe.sim.run();
+  ASSERT_FALSE(tracer.events().empty());
+  for (const auto& e : tracer.events()) EXPECT_EQ(e.flow, 2u);
+}
+
+TEST(PacketTracer, PrintsHumanReadableLines) {
+  Pipe pipe;
+  net::PacketTracer tracer(pipe.sim);
+  tracer.attach(pipe.a->nic(), "h0");
+  const auto params = flow_of(1'460);
+  pipe.agent_b->add_receiver(params);
+  pipe.agent_a->add_sender(params).start();
+  pipe.sim.run();
+  std::ostringstream os;
+  tracer.print(os);
+  EXPECT_NE(os.str().find("h0 tx DATA flow=1 seq=0 size=1500"), std::string::npos);
+}
+
+// -------------------------------------------------------- delayed ACK --
+
+TEST(DelayedAck, HalvesAckCountOnBulkTransfer) {
+  Pipe per_packet;
+  {
+    const auto params = flow_of(146'000);  // 100 segments
+    per_packet.agent_b->add_receiver(params);
+    per_packet.agent_a->add_sender(params).start();
+    per_packet.sim.run();
+  }
+  Pipe delayed;
+  transport::FlowParams params = flow_of(146'000);
+  params.delayed_ack = true;
+  auto& rx = delayed.agent_b->add_receiver(params);
+  auto& tx = delayed.agent_a->add_sender(params);
+  tx.start();
+  delayed.sim.run();
+  ASSERT_TRUE(tx.complete());
+  // ~1 ACK per 2 segments instead of per segment.
+  EXPECT_LT(rx.acks_sent(), 60u);
+  EXPECT_GE(rx.acks_sent(), 50u);
+}
+
+TEST(DelayedAck, LoneSegmentAckedAfterTimeout) {
+  Pipe pipe;
+  transport::FlowParams params = flow_of(0);  // unbounded: no FIN fast path
+  params.delayed_ack = true;
+  params.delayed_ack_timeout = microseconds(std::int64_t{400});
+  auto& rx = pipe.agent_b->add_receiver(params);
+  // Inject a single data segment directly.
+  Time acked_at = -1;
+  pipe.a->set_packet_handler([&](net::Packet&& p) {
+    if (p.is_ack()) acked_at = pipe.sim.now();
+  });
+  pipe.sim.schedule_at(microseconds(std::int64_t{10}), [&] {
+    rx.on_data(net::make_data_packet(1, 0, 1, 0, 1'460));
+  });
+  pipe.sim.run();
+  ASSERT_GT(acked_at, 0);
+  // ACK left after the 400 us delayed-ACK timer, not immediately.
+  EXPECT_GE(acked_at, microseconds(std::int64_t{410}));
+  EXPECT_LT(acked_at, microseconds(std::int64_t{600}));
+}
+
+TEST(DelayedAck, OutOfOrderDataAckedImmediately) {
+  Pipe pipe;
+  transport::FlowParams params = flow_of(0);
+  params.delayed_ack = true;
+  auto& rx = pipe.agent_b->add_receiver(params);
+  int acks = 0;
+  pipe.a->set_packet_handler([&](net::Packet&& p) {
+    if (p.is_ack()) ++acks;
+  });
+  // A gap: the second segment is out of order -> immediate dupACK.
+  pipe.sim.schedule_at(microseconds(std::int64_t{1}), [&] {
+    rx.on_data(net::make_data_packet(1, 0, 1, 2'920, 1'460));
+  });
+  pipe.sim.run_until(microseconds(std::int64_t{100}));
+  EXPECT_EQ(acks, 1) << "out-of-order data must not be delayed";
+}
+
+TEST(DelayedAck, CompletesFlows) {
+  Pipe pipe;
+  transport::FlowParams params = flow_of(50'000);
+  params.delayed_ack = true;
+  Time done = -1;
+  pipe.agent_b->add_receiver(params).on_complete =
+      [&](const transport::FlowReceiver& r) { done = r.completion_time(); };
+  pipe.agent_a->add_sender(params).start();
+  pipe.sim.run();
+  EXPECT_GT(done, 0);
+}
+
+// ----------------------------------------------------------- rwnd cap --
+
+TEST(WindowCap, BoundsInflightBytes) {
+  Pipe pipe;
+  transport::FlowParams params = flow_of(0);
+  params.stop = milliseconds(std::int64_t{20});
+  params.max_window_bytes = 8 * 1460;
+  pipe.agent_b->add_receiver(params);
+  auto& tx = pipe.agent_a->add_sender(params);
+  tx.start();
+  // Sample in-flight bytes periodically: never beyond the cap (+1 MSS of
+  // slack for the at-least-one-segment rule).
+  for (int ms = 1; ms <= 19; ++ms) {
+    pipe.sim.schedule_at(milliseconds(static_cast<std::int64_t>(ms)), [&] {
+      EXPECT_LE(tx.snd_nxt() - tx.snd_una(), static_cast<std::uint64_t>(9 * 1460));
+    });
+  }
+  pipe.sim.run_until(milliseconds(std::int64_t{20}));
+}
+
+TEST(WindowCap, ThroughputIsWindowOverRtt) {
+  // cwnd capped at 8 MSS over a ~100us RTT path: throughput ~ 8*1460*8/RTT.
+  Pipe pipe;
+  transport::FlowParams params = flow_of(0);
+  params.stop = milliseconds(std::int64_t{50});
+  params.max_window_bytes = 8 * 1460;
+  auto& rx = pipe.agent_b->add_receiver(params);
+  pipe.agent_a->add_sender(params).start();
+  pipe.sim.run_until(milliseconds(std::int64_t{50}));
+  const double rtt_s = 112.3e-6;  // 2x50us prop + 12us data serialization
+  const double expected = 8 * 1460 / rtt_s;
+  const double measured = static_cast<double>(rx.bytes_received()) / 50e-3;
+  EXPECT_NEAR(measured / expected, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dynaq

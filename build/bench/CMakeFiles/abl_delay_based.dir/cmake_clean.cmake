@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_delay_based.dir/abl_delay_based.cpp.o"
+  "CMakeFiles/abl_delay_based.dir/abl_delay_based.cpp.o.d"
+  "abl_delay_based"
+  "abl_delay_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_delay_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

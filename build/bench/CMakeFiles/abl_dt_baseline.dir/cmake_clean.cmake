@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dt_baseline.dir/abl_dt_baseline.cpp.o"
+  "CMakeFiles/abl_dt_baseline.dir/abl_dt_baseline.cpp.o.d"
+  "abl_dt_baseline"
+  "abl_dt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_generic_ecn.dir/abl_generic_ecn.cpp.o"
+  "CMakeFiles/abl_generic_ecn.dir/abl_generic_ecn.cpp.o.d"
+  "abl_generic_ecn"
+  "abl_generic_ecn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_generic_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

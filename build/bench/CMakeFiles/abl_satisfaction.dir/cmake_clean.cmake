@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_satisfaction.dir/abl_satisfaction.cpp.o"
+  "CMakeFiles/abl_satisfaction.dir/abl_satisfaction.cpp.o.d"
+  "abl_satisfaction"
+  "abl_satisfaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_satisfaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

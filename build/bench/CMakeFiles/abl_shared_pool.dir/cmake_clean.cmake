@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_shared_pool.dir/abl_shared_pool.cpp.o"
+  "CMakeFiles/abl_shared_pool.dir/abl_shared_pool.cpp.o.d"
+  "abl_shared_pool"
+  "abl_shared_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_shared_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

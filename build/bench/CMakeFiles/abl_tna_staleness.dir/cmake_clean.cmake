@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tna_staleness.dir/abl_tna_staleness.cpp.o"
+  "CMakeFiles/abl_tna_staleness.dir/abl_tna_staleness.cpp.o.d"
+  "abl_tna_staleness"
+  "abl_tna_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tna_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

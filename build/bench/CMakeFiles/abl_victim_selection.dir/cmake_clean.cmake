@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_victim_selection.dir/abl_victim_selection.cpp.o"
+  "CMakeFiles/abl_victim_selection.dir/abl_victim_selection.cpp.o.d"
+  "abl_victim_selection"
+  "abl_victim_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_victim_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_workloads.dir/fig02_workloads.cpp.o"
+  "CMakeFiles/fig02_workloads.dir/fig02_workloads.cpp.o.d"
+  "fig02_workloads"
+  "fig02_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_queue_evolution.dir/fig04_queue_evolution.cpp.o"
+  "CMakeFiles/fig04_queue_evolution.dir/fig04_queue_evolution.cpp.o.d"
+  "fig04_queue_evolution"
+  "fig04_queue_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_queue_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_fair_sharing.dir/fig05_fair_sharing.cpp.o"
+  "CMakeFiles/fig05_fair_sharing.dir/fig05_fair_sharing.cpp.o.d"
+  "fig05_fair_sharing"
+  "fig05_fair_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fair_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_weights.dir/fig06_weights.cpp.o"
+  "CMakeFiles/fig06_weights.dir/fig06_weights.cpp.o.d"
+  "fig06_weights"
+  "fig06_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_protocols.dir/fig07_protocols.cpp.o"
+  "CMakeFiles/fig07_protocols.dir/fig07_protocols.cpp.o.d"
+  "fig07_protocols"
+  "fig07_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fct_non_ecn.dir/fig08_fct_non_ecn.cpp.o"
+  "CMakeFiles/fig08_fct_non_ecn.dir/fig08_fct_non_ecn.cpp.o.d"
+  "fig08_fct_non_ecn"
+  "fig08_fct_non_ecn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fct_non_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_fct_non_ecn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fct_ecn.dir/fig09_fct_ecn.cpp.o"
+  "CMakeFiles/fig09_fct_ecn.dir/fig09_fct_ecn.cpp.o.d"
+  "fig09_fct_ecn"
+  "fig09_fct_ecn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fct_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_10g.dir/fig10_10g.cpp.o"
+  "CMakeFiles/fig10_10g.dir/fig10_10g.cpp.o.d"
+  "fig10_10g"
+  "fig10_10g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_10g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

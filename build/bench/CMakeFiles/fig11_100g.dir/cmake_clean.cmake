@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_100g.dir/fig11_100g.cpp.o"
+  "CMakeFiles/fig11_100g.dir/fig11_100g.cpp.o.d"
+  "fig11_100g"
+  "fig11_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_many_flows.cpp" "bench/CMakeFiles/fig12_many_flows.dir/fig12_many_flows.cpp.o" "gcc" "bench/CMakeFiles/fig12_many_flows.dir/fig12_many_flows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dynaq_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dynaq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dynaq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dynaq_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dynaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dynaq_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_many_flows.dir/fig12_many_flows.cpp.o"
+  "CMakeFiles/fig12_many_flows.dir/fig12_many_flows.cpp.o.d"
+  "fig12_many_flows"
+  "fig12_many_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_many_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_leaf_spine.dir/fig13_leaf_spine.cpp.o"
+  "CMakeFiles/fig13_leaf_spine.dir/fig13_leaf_spine.cpp.o.d"
+  "fig13_leaf_spine"
+  "fig13_leaf_spine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_leaf_spine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

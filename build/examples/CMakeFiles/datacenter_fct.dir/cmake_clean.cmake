@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_fct.dir/datacenter_fct.cpp.o"
+  "CMakeFiles/datacenter_fct.dir/datacenter_fct.cpp.o.d"
+  "datacenter_fct"
+  "datacenter_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microburst_absorption.dir/microburst_absorption.cpp.o"
+  "CMakeFiles/microburst_absorption.dir/microburst_absorption.cpp.o.d"
+  "microburst_absorption"
+  "microburst_absorption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microburst_absorption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_fair_sharing.dir/rack_fair_sharing.cpp.o"
+  "CMakeFiles/rack_fair_sharing.dir/rack_fair_sharing.cpp.o.d"
+  "rack_fair_sharing"
+  "rack_fair_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_fair_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

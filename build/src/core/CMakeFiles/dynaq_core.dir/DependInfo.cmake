@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynaq_controller.cpp" "src/core/CMakeFiles/dynaq_core.dir/dynaq_controller.cpp.o" "gcc" "src/core/CMakeFiles/dynaq_core.dir/dynaq_controller.cpp.o.d"
+  "/root/repo/src/core/ecn_markers.cpp" "src/core/CMakeFiles/dynaq_core.dir/ecn_markers.cpp.o" "gcc" "src/core/CMakeFiles/dynaq_core.dir/ecn_markers.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/dynaq_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/dynaq_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/dynaq_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/dynaq_core.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dynaq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

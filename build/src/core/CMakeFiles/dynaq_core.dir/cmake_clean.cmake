@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_core.dir/dynaq_controller.cpp.o"
+  "CMakeFiles/dynaq_core.dir/dynaq_controller.cpp.o.d"
+  "CMakeFiles/dynaq_core.dir/ecn_markers.cpp.o"
+  "CMakeFiles/dynaq_core.dir/ecn_markers.cpp.o.d"
+  "CMakeFiles/dynaq_core.dir/policies.cpp.o"
+  "CMakeFiles/dynaq_core.dir/policies.cpp.o.d"
+  "CMakeFiles/dynaq_core.dir/scheme.cpp.o"
+  "CMakeFiles/dynaq_core.dir/scheme.cpp.o.d"
+  "libdynaq_core.a"
+  "libdynaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

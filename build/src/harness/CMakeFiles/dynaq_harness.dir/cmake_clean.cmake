@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_harness.dir/dynamic_experiment.cpp.o"
+  "CMakeFiles/dynaq_harness.dir/dynamic_experiment.cpp.o.d"
+  "CMakeFiles/dynaq_harness.dir/static_experiment.cpp.o"
+  "CMakeFiles/dynaq_harness.dir/static_experiment.cpp.o.d"
+  "libdynaq_harness.a"
+  "libdynaq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

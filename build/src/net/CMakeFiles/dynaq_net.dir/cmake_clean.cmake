@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_net.dir/multi_queue_qdisc.cpp.o"
+  "CMakeFiles/dynaq_net.dir/multi_queue_qdisc.cpp.o.d"
+  "CMakeFiles/dynaq_net.dir/schedulers.cpp.o"
+  "CMakeFiles/dynaq_net.dir/schedulers.cpp.o.d"
+  "libdynaq_net.a"
+  "libdynaq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fairness.cpp" "src/stats/CMakeFiles/dynaq_stats.dir/fairness.cpp.o" "gcc" "src/stats/CMakeFiles/dynaq_stats.dir/fairness.cpp.o.d"
+  "/root/repo/src/stats/fct_recorder.cpp" "src/stats/CMakeFiles/dynaq_stats.dir/fct_recorder.cpp.o" "gcc" "src/stats/CMakeFiles/dynaq_stats.dir/fct_recorder.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/stats/CMakeFiles/dynaq_stats.dir/percentile.cpp.o" "gcc" "src/stats/CMakeFiles/dynaq_stats.dir/percentile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_stats.dir/fairness.cpp.o"
+  "CMakeFiles/dynaq_stats.dir/fairness.cpp.o.d"
+  "CMakeFiles/dynaq_stats.dir/fct_recorder.cpp.o"
+  "CMakeFiles/dynaq_stats.dir/fct_recorder.cpp.o.d"
+  "CMakeFiles/dynaq_stats.dir/percentile.cpp.o"
+  "CMakeFiles/dynaq_stats.dir/percentile.cpp.o.d"
+  "libdynaq_stats.a"
+  "libdynaq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/leaf_spine.cpp" "src/topo/CMakeFiles/dynaq_topo.dir/leaf_spine.cpp.o" "gcc" "src/topo/CMakeFiles/dynaq_topo.dir/leaf_spine.cpp.o.d"
+  "/root/repo/src/topo/star.cpp" "src/topo/CMakeFiles/dynaq_topo.dir/star.cpp.o" "gcc" "src/topo/CMakeFiles/dynaq_topo.dir/star.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dynaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dynaq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dynaq_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_topo.dir/leaf_spine.cpp.o"
+  "CMakeFiles/dynaq_topo.dir/leaf_spine.cpp.o.d"
+  "CMakeFiles/dynaq_topo.dir/star.cpp.o"
+  "CMakeFiles/dynaq_topo.dir/star.cpp.o.d"
+  "libdynaq_topo.a"
+  "libdynaq_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

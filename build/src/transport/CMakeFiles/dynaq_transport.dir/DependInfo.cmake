@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/congestion_control.cpp" "src/transport/CMakeFiles/dynaq_transport.dir/congestion_control.cpp.o" "gcc" "src/transport/CMakeFiles/dynaq_transport.dir/congestion_control.cpp.o.d"
+  "/root/repo/src/transport/cubic.cpp" "src/transport/CMakeFiles/dynaq_transport.dir/cubic.cpp.o" "gcc" "src/transport/CMakeFiles/dynaq_transport.dir/cubic.cpp.o.d"
+  "/root/repo/src/transport/dctcp.cpp" "src/transport/CMakeFiles/dynaq_transport.dir/dctcp.cpp.o" "gcc" "src/transport/CMakeFiles/dynaq_transport.dir/dctcp.cpp.o.d"
+  "/root/repo/src/transport/flow_receiver.cpp" "src/transport/CMakeFiles/dynaq_transport.dir/flow_receiver.cpp.o" "gcc" "src/transport/CMakeFiles/dynaq_transport.dir/flow_receiver.cpp.o.d"
+  "/root/repo/src/transport/flow_sender.cpp" "src/transport/CMakeFiles/dynaq_transport.dir/flow_sender.cpp.o" "gcc" "src/transport/CMakeFiles/dynaq_transport.dir/flow_sender.cpp.o.d"
+  "/root/repo/src/transport/newreno.cpp" "src/transport/CMakeFiles/dynaq_transport.dir/newreno.cpp.o" "gcc" "src/transport/CMakeFiles/dynaq_transport.dir/newreno.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dynaq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

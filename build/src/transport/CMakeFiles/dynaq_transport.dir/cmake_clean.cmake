@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_transport.dir/congestion_control.cpp.o"
+  "CMakeFiles/dynaq_transport.dir/congestion_control.cpp.o.d"
+  "CMakeFiles/dynaq_transport.dir/cubic.cpp.o"
+  "CMakeFiles/dynaq_transport.dir/cubic.cpp.o.d"
+  "CMakeFiles/dynaq_transport.dir/dctcp.cpp.o"
+  "CMakeFiles/dynaq_transport.dir/dctcp.cpp.o.d"
+  "CMakeFiles/dynaq_transport.dir/flow_receiver.cpp.o"
+  "CMakeFiles/dynaq_transport.dir/flow_receiver.cpp.o.d"
+  "CMakeFiles/dynaq_transport.dir/flow_sender.cpp.o"
+  "CMakeFiles/dynaq_transport.dir/flow_sender.cpp.o.d"
+  "CMakeFiles/dynaq_transport.dir/newreno.cpp.o"
+  "CMakeFiles/dynaq_transport.dir/newreno.cpp.o.d"
+  "libdynaq_transport.a"
+  "libdynaq_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow_generator.cpp" "src/workload/CMakeFiles/dynaq_workload.dir/flow_generator.cpp.o" "gcc" "src/workload/CMakeFiles/dynaq_workload.dir/flow_generator.cpp.o.d"
+  "/root/repo/src/workload/flow_size_distribution.cpp" "src/workload/CMakeFiles/dynaq_workload.dir/flow_size_distribution.cpp.o" "gcc" "src/workload/CMakeFiles/dynaq_workload.dir/flow_size_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_workload.dir/flow_generator.cpp.o"
+  "CMakeFiles/dynaq_workload.dir/flow_generator.cpp.o.d"
+  "CMakeFiles/dynaq_workload.dir/flow_size_distribution.cpp.o"
+  "CMakeFiles/dynaq_workload.dir/flow_size_distribution.cpp.o.d"
+  "libdynaq_workload.a"
+  "libdynaq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

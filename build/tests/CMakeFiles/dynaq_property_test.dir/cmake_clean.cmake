@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaq_property_test.dir/dynaq_property_test.cpp.o"
+  "CMakeFiles/dynaq_property_test.dir/dynaq_property_test.cpp.o.d"
+  "dynaq_property_test"
+  "dynaq_property_test.pdb"
+  "dynaq_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaq_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

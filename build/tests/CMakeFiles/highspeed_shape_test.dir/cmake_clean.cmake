@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highspeed_shape_test.dir/highspeed_shape_test.cpp.o"
+  "CMakeFiles/highspeed_shape_test.dir/highspeed_shape_test.cpp.o.d"
+  "highspeed_shape_test"
+  "highspeed_shape_test.pdb"
+  "highspeed_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highspeed_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

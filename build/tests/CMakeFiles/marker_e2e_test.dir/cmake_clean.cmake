@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marker_e2e_test.dir/marker_e2e_test.cpp.o"
+  "CMakeFiles/marker_e2e_test.dir/marker_e2e_test.cpp.o.d"
+  "marker_e2e_test"
+  "marker_e2e_test.pdb"
+  "marker_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marker_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

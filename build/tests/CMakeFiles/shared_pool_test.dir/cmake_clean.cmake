@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_pool_test.dir/shared_pool_test.cpp.o"
+  "CMakeFiles/shared_pool_test.dir/shared_pool_test.cpp.o.d"
+  "shared_pool_test"
+  "shared_pool_test.pdb"
+  "shared_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_and_ack_test.dir/trace_and_ack_test.cpp.o"
+  "CMakeFiles/trace_and_ack_test.dir/trace_and_ack_test.cpp.o.d"
+  "trace_and_ack_test"
+  "trace_and_ack_test.pdb"
+  "trace_and_ack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_and_ack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

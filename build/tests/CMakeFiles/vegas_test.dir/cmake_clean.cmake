@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_test.dir/vegas_test.cpp.o"
+  "CMakeFiles/vegas_test.dir/vegas_test.cpp.o.d"
+  "vegas_test"
+  "vegas_test.pdb"
+  "vegas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI entry point: three configurations, all deterministic (every experiment
+# binary and test is seeded; see CLAUDE.md).
+#
+#   1. RelWithDebInfo with -Werror           (the performance configuration)
+#   2. Debug with ASan+UBSan, full ctest     (the memory/UB configuration)
+#   3. Convention lint (+ clang-tidy when available)
+#
+# Usage: ./ci.sh [--skip-asan]   # ASan pass doubles the wall time
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 2)
+skip_asan=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-asan" ]] && skip_asan=1
+done
+
+echo "==> [1/3] RelWithDebInfo + -Werror"
+cmake -B build-ci -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYNAQ_WERROR=ON > /dev/null
+cmake --build build-ci -j "$jobs"
+ctest --test-dir build-ci -j "$jobs" --output-on-failure
+
+if [[ $skip_asan -eq 0 ]]; then
+  echo "==> [2/3] ASan+UBSan ctest"
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDYNAQ_WERROR=ON \
+        "-DDYNAQ_SANITIZE=address;undefined" > /dev/null
+  cmake --build build-asan -j "$jobs"
+  ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan -j "$jobs" --output-on-failure
+else
+  echo "==> [2/3] ASan+UBSan ctest (skipped)"
+fi
+
+echo "==> [3/3] convention lint"
+tools/check_conventions.sh
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B build-ci -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  # Library sources only; tests/benches follow looser patterns.
+  find src -name '*.cpp' -print0 | xargs -0 clang-tidy -p build-ci --quiet
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+echo "CI: all configurations passed"

@@ -42,11 +42,11 @@ bool MqEcnMarker::mark_on_enqueue(const net::MqState& state, int q, const net::P
   }
   const double quantum_q = static_cast<double>(cfg_.quantum_base) * state.queue(q).weight;
   if (active_quantum_bytes < quantum_q) active_quantum_bytes = quantum_q;
-  const double t_round_inst = active_quantum_bytes * 8.0 / cfg_.capacity_bps;
-  t_round_ = t_round_ == 0.0 ? t_round_inst : 0.75 * t_round_ + 0.25 * t_round_inst;
+  const Time t_round_inst = seconds(active_quantum_bytes * 8.0 / cfg_.capacity_bps);
+  t_round_ = t_round_ == 0 ? t_round_inst : (3 * t_round_ + t_round_inst) / 4;
 
   const double rate_share =
-      std::min(quantum_q * 8.0 / t_round_, cfg_.capacity_bps);  // bits/s
+      std::min(quantum_q * 8.0 / to_seconds(t_round_), cfg_.capacity_bps);  // bits/s
   const auto k_i = static_cast<std::int64_t>(rate_share * to_seconds(cfg_.rtt) *
                                              cfg_.lambda / 8.0);
   return state.queue(q).bytes + p.size > k_i;

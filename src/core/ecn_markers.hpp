@@ -69,12 +69,12 @@ class MqEcnMarker final : public net::EcnMarker {
  public:
   explicit MqEcnMarker(EcnConfig cfg) : cfg_(cfg) {}
   bool mark_on_enqueue(const net::MqState& state, int q, const net::Packet& p) override;
-  double smoothed_round_seconds() const { return t_round_; }
+  Time smoothed_round() const { return t_round_; }
   std::string_view name() const override { return "mq-ecn"; }
 
  private:
   EcnConfig cfg_;
-  double t_round_ = 0.0;  // seconds
+  Time t_round_ = 0;  // smoothed DRR round time
 };
 
 }  // namespace dynaq::core

@@ -30,6 +30,9 @@ class PqlPolicy final : public net::BufferPolicy {
   void attach(const net::MqState& state) override;
   bool admit(const net::MqState& state, int q, const net::Packet& p) override;
   std::vector<std::int64_t> thresholds() const override { return quotas_; }
+  // Static quotas are always enforced; they floor to B·w_i/Σw so their sum
+  // may fall short of B — no conservation claim.
+  bool enforces_thresholds() const override { return true; }
   std::string_view name() const override { return "pql"; }
 
  private:
@@ -89,6 +92,13 @@ class DynaQPolicy : public net::BufferPolicy {
   // TNA emulation: record deq_qdepth at dequeue time.
   void on_dequeue(const net::MqState& state, int q, const net::Packet& p) override;
   std::vector<std::int64_t> thresholds() const override;
+  // ΣT = B is Algorithm 1's core invariant; admission is threshold-enforced
+  // in strict mode only (DESIGN.md §4), and TNA staleness makes the live
+  // q_p + size ≤ T_p recheck unsound (Algorithm 1 then sees stale depths).
+  bool conserves_threshold_sum() const override { return true; }
+  bool enforces_thresholds() const override {
+    return options_.strict && !options_.stale_queue_info;
+  }
   std::string_view name() const override { return "dynaq"; }
 
   const DynaQController& controller() const { return *controller_; }

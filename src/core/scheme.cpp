@@ -84,8 +84,13 @@ std::unique_ptr<net::EcnMarker> make_marker(const SchemeSpec& spec) {
 std::unique_ptr<net::MultiQueueQdisc> make_mq_qdisc(
     sim::Simulator& sim, std::vector<double> weights, std::int64_t buffer_bytes,
     const SchemeSpec& spec, std::unique_ptr<net::SchedulerPolicy> scheduler) {
+  std::unique_ptr<net::BufferPolicy> policy = make_policy(spec);
+  if (spec.audit) {
+    policy = std::make_unique<check::AuditedBufferPolicy>(std::move(policy), &sim,
+                                                          spec.audit_options);
+  }
   return std::make_unique<net::MultiQueueQdisc>(sim, std::move(weights), buffer_bytes,
-                                                make_policy(spec), std::move(scheduler),
+                                                std::move(policy), std::move(scheduler),
                                                 make_marker(spec));
 }
 

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "check/invariant_auditor.hpp"
 #include "core/dynaq_controller.hpp"
 #include "core/ecn_markers.hpp"
 #include "core/policies.hpp"
@@ -45,6 +46,12 @@ struct SchemeSpec {
   // policy instead of `kind` (one instance per switch port). `kind` still
   // selects the ECN marker, if any.
   std::function<std::unique_ptr<net::BufferPolicy>()> custom_policy;
+  // Wrap the policy in check::AuditedBufferPolicy so every admission/
+  // eviction/rollback is verified against the buffer-policy contract
+  // (DESIGN.md §6). harness::run_*_experiment turns this on by default;
+  // audit.throw_on_violation picks fail-fast vs collect.
+  bool audit = false;
+  check::AuditOptions audit_options;
 };
 
 // Builds the buffer policy for `spec` (BestEffort for all pure-ECN schemes,

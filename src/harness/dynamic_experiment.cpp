@@ -35,7 +35,9 @@ DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& con
 
   sim::Simulator sim;
   sim::Rng rng(config.seed);
-  topo::StarTopology topo(sim, config.star);
+  topo::StarConfig star_config = config.star;
+  star_config.scheme.audit = star_config.scheme.audit || config.audit_invariants;
+  topo::StarTopology topo(sim, star_config);
 
   Time initial_srtt = config.initial_srtt;
   if (initial_srtt == 0) initial_srtt = 4 * config.star.link_delay + microseconds(std::int64_t{25});
@@ -95,7 +97,9 @@ DynamicExperimentResult run_dynamic_leaf_spine_experiment(
 
   sim::Simulator sim;
   sim::Rng rng(config.seed);
-  topo::LeafSpineTopology topo(sim, config.fabric);
+  topo::LeafSpineConfig fabric_config = config.fabric;
+  fabric_config.scheme.audit = fabric_config.scheme.audit || config.audit_invariants;
+  topo::LeafSpineTopology topo(sim, fabric_config);
   const int num_hosts = topo.num_hosts();
 
   Time initial_srtt = config.initial_srtt;

@@ -39,6 +39,9 @@ struct DynamicStarConfig {
   Time initial_srtt = 0;
   std::uint64_t seed = 1;
   Time max_sim_time = seconds(std::int64_t{3600});
+  // Audit every port's buffer policy against the contract (DESIGN.md §6);
+  // see StaticExperimentConfig::audit_invariants.
+  bool audit_invariants = true;
 };
 
 struct DynamicExperimentResult {
@@ -70,6 +73,7 @@ struct DynamicLeafSpineConfig {
   Time initial_srtt = 0;  // see DynamicStarConfig
   std::uint64_t seed = 1;
   Time max_sim_time = seconds(std::int64_t{3600});
+  bool audit_invariants = true;  // see DynamicStarConfig
 };
 
 DynamicExperimentResult run_dynamic_leaf_spine_experiment(const DynamicLeafSpineConfig& config);

@@ -11,7 +11,9 @@ namespace dynaq::harness {
 StaticExperimentResult run_static_experiment(const StaticExperimentConfig& config) {
   sim::Simulator sim;
   sim::Rng rng(config.seed);
-  topo::StarTopology topo(sim, config.star);
+  topo::StarConfig star_config = config.star;
+  star_config.scheme.audit = star_config.scheme.audit || config.audit_invariants;
+  topo::StarTopology topo(sim, star_config);
 
   const int num_queues = static_cast<int>(config.star.queue_weights.size());
   StaticExperimentResult result{

@@ -45,6 +45,11 @@ struct StaticExperimentConfig {
   std::size_t queue_samples = 0;  // >0: record per-op queue length samples
   std::size_t queue_sample_skip = 0;
   std::uint64_t seed = 1;
+  // Run every switch-port buffer policy under check::AuditedBufferPolicy,
+  // throwing AuditError at the first contract violation (DESIGN.md §6). On
+  // by default so the whole test suite runs audited; disable for
+  // paper-scale perf runs.
+  bool audit_invariants = true;
 };
 
 struct StaticExperimentResult {

@@ -64,6 +64,16 @@ class BufferPolicy {
   // the policy has no such notion (e.g. BestEffort).
   virtual std::vector<std::int64_t> thresholds() const { return {}; }
 
+  // Contract declarations consumed by check::AuditedBufferPolicy
+  // (DESIGN.md §6). A policy that conserves the threshold sum promises
+  // ΣT_i = B after every call (DynaQ's Eq. 1 invariant); a threshold-
+  // enforcing policy promises that an admitted packet fits under the
+  // arriving queue's threshold (q_p + size ≤ T_p). Either way, a rejected
+  // admit() must leave thresholds() unchanged — the qdisc only calls
+  // on_admit_aborted() for packets that were admitted.
+  virtual bool conserves_threshold_sum() const { return false; }
+  virtual bool enforces_thresholds() const { return false; }
+
   virtual std::string_view name() const = 0;
 };
 

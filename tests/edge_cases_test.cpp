@@ -93,7 +93,7 @@ TEST(EdgeCases, MqEcnRoundEstimateExposed) {
   net::Packet p = net::make_data_packet(1, 0, 1, 0, 1460);
   marker.mark_on_enqueue(s, 0, p);
   // One active queue: round = 1500 B at 1 Gbps = 12 us.
-  EXPECT_NEAR(marker.smoothed_round_seconds(), 12e-6, 1e-7);
+  EXPECT_NEAR(to_seconds(marker.smoothed_round()), 12e-6, 1e-7);
 }
 
 TEST(EdgeCases, QueueForSegmentWithHighQueueEqualToService) {

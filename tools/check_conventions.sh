@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Repo-convention lint (CLAUDE.md / DESIGN.md §6). Exits non-zero with
+# file:line diagnostics when a rule is broken; CI runs this as its third
+# configuration, next to the -Werror build and the ASan+UBSan ctest pass.
+#
+#   1. Time is dynaq::Time (int64 picoseconds): no double/float variables or
+#      functions holding "seconds" inside model code (src/sim, src/net,
+#      src/core, src/transport, src/topo). The declared conversion boundary
+#      (src/sim/time.hpp) is exempt.
+#   2. No float anywhere in src/ (byte/time math must be int64 or double).
+#   3. No global simulator: no static/extern sim::Simulator — every
+#      component takes sim::Simulator& (CLAUDE.md).
+#   4. Namespaces mirror directories: every file in src/<dir>/ declares
+#      namespace dynaq::<dir> (src/sim/time.hpp declares repo-wide dynaq::).
+#   5. Every core::SchemeKind enumerator is registered in scheme.cpp
+#      (scheme_name + parse_scheme) and covered by Scheme.NamesRoundTrip in
+#      tests/core_test.cpp.
+#   6. Every header is include-guarded with #pragma once.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {  # complain <rule> <message lines...>
+  echo "CONVENTION VIOLATION [$1]:"
+  shift
+  local arg line
+  for arg in "$@"; do
+    while IFS= read -r line; do printf '  %s\n' "$line"; done <<< "$arg"
+  done
+  fail=1
+}
+
+model_dirs=(src/sim src/net src/core src/transport src/topo)
+
+# -- 1. no raw double/float seconds in models ------------------------------
+hits=$(grep -rnE '\b(double|float)\s+[A-Za-z_]*(seconds|_sec)\b' "${model_dirs[@]}" \
+  | grep -v '^src/sim/time.hpp:' || true)
+if [[ -n "$hits" ]]; then
+  complain "time-as-int64-ps" "model code must use dynaq::Time, not double seconds:" "$hits"
+fi
+
+# -- 2. no float in src/ ----------------------------------------------------
+hits=$(grep -rnE '\bfloat\b' src/ | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "no-float" "use double or std::int64_t, not float:" "$hits"
+fi
+
+# -- 3. no global simulator -------------------------------------------------
+hits=$(grep -rnE '(static|extern)\s+(dynaq::)?(sim::)?Simulator\b' src/ || true)
+if [[ -n "$hits" ]]; then
+  complain "no-global-simulator" "every component takes sim::Simulator&:" "$hits"
+fi
+
+# -- 4. namespaces mirror directories --------------------------------------
+for f in src/*/*.hpp src/*/*.cpp; do
+  [[ "$f" == src/sim/time.hpp ]] && continue  # repo-wide dynaq::Time
+  dir=$(basename "$(dirname "$f")")
+  if ! grep -q "namespace dynaq::$dir" "$f"; then
+    complain "namespace-mirrors-directory" "$f must declare namespace dynaq::$dir"
+  fi
+done
+
+# -- 5. SchemeKind registration coverage ------------------------------------
+enumerators=$(sed -n '/^enum class SchemeKind {/,/^};/p' src/core/scheme.hpp \
+  | grep -oE '^\s+k[A-Za-z0-9]+' | tr -d ' ')
+if [[ -z "$enumerators" ]]; then
+  complain "schemekind-coverage" "could not extract SchemeKind enumerators from src/core/scheme.hpp"
+fi
+for e in $enumerators; do
+  if [[ $(grep -c "SchemeKind::$e\b" src/core/scheme.cpp) -lt 2 ]]; then
+    complain "schemekind-coverage" \
+      "SchemeKind::$e must appear in both scheme_name() and parse_scheme() in src/core/scheme.cpp"
+  fi
+  if ! grep -q "SchemeKind::$e\b" tests/core_test.cpp; then
+    complain "schemekind-coverage" \
+      "SchemeKind::$e lacks Scheme.NamesRoundTrip coverage in tests/core_test.cpp"
+  fi
+done
+
+# -- 6. pragma once in headers ----------------------------------------------
+for f in src/*/*.hpp bench/*.hpp; do
+  if ! grep -q '#pragma once' "$f"; then
+    complain "pragma-once" "$f is missing #pragma once"
+  fi
+done
+
+if [[ $fail -eq 0 ]]; then
+  echo "check_conventions: OK"
+fi
+exit $fail

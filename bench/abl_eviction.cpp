@@ -14,17 +14,18 @@ using namespace dynaq;
 int main(int argc, char** argv) {
   const harness::Cli cli(argc, argv);
   bench::FctSweepConfig sweep;
-  sweep.schemes = {core::SchemeKind::kDynaQ, core::SchemeKind::kDynaQEvict,
-                   core::SchemeKind::kPql};
+  sweep.schemes = bench::schemes_from_cli(
+      cli, {core::SchemeKind::kDynaQ, core::SchemeKind::kDynaQEvict, core::SchemeKind::kPql});
   sweep.loads = cli.reals("loads", {0.3, 0.5, 0.7});
   sweep.flows = static_cast<std::size_t>(cli.integer("flows", 1'500));
-  sweep.seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
+  sweep.seeds = cli.reals("seeds", {static_cast<double>(cli.integer("seed", 1))});
 
   std::puts("Ablation — drop vs evict under the Figure 8 workload (web search,");
   std::puts("SPQ(1)/DRR(4), PIAS): does tail eviction remove the port-full races");
   std::puts("that tail DynaQ's small-flow FCT?\n");
 
-  const auto results = bench::run_fct_sweep(sweep);
+  const auto run = bench::run_fct_sweep(cli, "abl_eviction", sweep);
+  const auto results = bench::fct_results_from_store(run.store);
   bench::print_fct_metric(results, core::SchemeKind::kDynaQ, sweep.loads,
                           "average FCT, small flows (<=100KB)",
                           &stats::FctSummary::avg_small_ms);
@@ -37,5 +38,5 @@ int main(int argc, char** argv) {
 
   std::puts("expected: DynaQ+Evict pulls the small-flow tail toward (or past) PQL's");
   std::puts("while keeping DynaQ's work-conserving large-flow advantage");
-  return 0;
+  return run.exit_code;
 }

@@ -15,6 +15,7 @@
 #include "harness/table.hpp"
 #include "stats/fairness.hpp"
 #include "stats/percentile.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "topo/star.hpp"
 
 namespace dynaq::bench {
@@ -110,6 +111,77 @@ inline void maybe_write_csv(const std::string& dir, const std::string& name,
     csv.row(cells);
   }
   std::printf("wrote %s/%s.csv\n", dir.c_str(), name.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-engine entry point shared by the fig binaries (DESIGN.md §7). Reads
+// the common sweep flags, fans the grid out over a worker pool, reports
+// failed jobs on stderr in job order, and writes the machine-readable JSON:
+//
+//   --jobs N        worker threads (default: hardware concurrency)
+//   --timeout-s S   per-job wall-clock budget (default: none)
+//   --retry         retry a failed/timed-out job once
+//   --strict        exit non-zero on job failures or unrecognized flags
+//   --json DIR      write <DIR>/<name>.json (sweep results schema)
+//   --bench-json P  additionally write the JSON to exactly P (perf trajectory)
+//
+// Call after main() has read every binary-specific flag: this is also where
+// unrecognized-flag complaints fire (harness::Cli::complain_unknown).
+struct SweepRun {
+  sweep::ResultStore store;
+  int exit_code = 0;  // non-zero only under --strict
+};
+
+inline SweepRun run_sweep(const harness::Cli& cli, std::string name, sweep::SweepSpec spec,
+                          const sweep::JobFn& fn) {
+  sweep::RunnerOptions options;
+  options.jobs = static_cast<int>(cli.integer("jobs", 0));
+  options.timeout_s = cli.real("timeout-s", 0.0);
+  options.retry_failed_once = cli.flag("retry");
+  const bool strict = cli.flag("strict");
+  const std::string json_dir = cli.text("json", "");
+  const std::string bench_json = cli.text("bench-json", "");
+  const bool bad_flags = cli.complain_unknown(strict);
+
+  const sweep::SweepRunner runner(options);
+  auto store = runner.run(std::move(name), spec, fn);
+  for (const auto& o : store.outcomes()) {
+    if (!o.ok) {
+      std::fprintf(stderr, "sweep job %zu failed [%s] after %d attempt(s): %s\n",
+                   o.point.job_id, o.point.name().c_str(), o.attempts, o.error.c_str());
+    }
+  }
+  if (!json_dir.empty()) {
+    const std::string path = json_dir + "/" + store.name() + ".json";
+    if (store.write_json(path)) std::printf("wrote %s\n", path.c_str());
+  }
+  if (!bench_json.empty() && store.write_json(bench_json)) {
+    std::printf("wrote %s\n", bench_json.c_str());
+  }
+  const int exit_code = strict && (bad_flags || !store.all_ok()) ? 1 : 0;
+  return SweepRun{std::move(store), exit_code};
+}
+
+// Parses --schemes=DynaQ,PQL,... into SchemeKinds, defaulting to `fallback`.
+inline std::vector<core::SchemeKind> schemes_from_cli(const harness::Cli& cli,
+                                                      std::vector<core::SchemeKind> fallback) {
+  if (!cli.has("schemes")) return fallback;
+  std::vector<core::SchemeKind> kinds;
+  for (const auto& name : cli.list("schemes", {})) kinds.push_back(core::parse_scheme(name));
+  return kinds;
+}
+
+// The scheme/load/seed grid every FCT-style figure sweeps.
+inline sweep::SweepSpec scheme_load_seed_spec(const std::vector<core::SchemeKind>& schemes,
+                                              const std::vector<double>& loads,
+                                              const std::vector<double>& seeds) {
+  std::vector<std::string> names;
+  names.reserve(schemes.size());
+  for (const auto kind : schemes) names.emplace_back(core::scheme_name(kind));
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::labels("scheme", std::move(names)),
+               sweep::Axis::numeric("load", loads), sweep::Axis::numeric("seed", seeds)};
+  return spec;
 }
 
 }  // namespace dynaq::bench

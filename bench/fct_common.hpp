@@ -1,8 +1,12 @@
 // Shared driver for the FCT comparison figures (8, 9): the testbed's
 // client/server request workload on a star topology with SPQ(1)/DRR(4) and
-// two-level PIAS tagging, swept over traffic load.
+// two-level PIAS tagging, swept over (scheme x load x seed) through the
+// dynaq::sweep engine — every grid point builds its own simulator on a
+// worker thread, so --jobs N parallelizes the grid without changing any
+// number (see DESIGN.md §7).
 #pragma once
 
+#include <cmath>
 #include <map>
 
 #include "bench/common.hpp"
@@ -13,41 +17,98 @@ namespace dynaq::bench {
 struct FctSweepConfig {
   std::vector<core::SchemeKind> schemes;
   std::vector<double> loads;          // fractions of client link capacity
+  std::vector<double> seeds = {1};    // seed replicas, aggregated in the JSON
   std::size_t flows = 1000;
   transport::CcKind default_cc = transport::CcKind::kNewReno;
   transport::CcKind ecn_cc = transport::CcKind::kDctcp;  // for ECN schemes
-  std::uint64_t seed = 1;
 };
 
 using FctResults =
     std::map<core::SchemeKind, std::map<double, stats::FctSummary>>;
 
-inline FctResults run_fct_sweep(const FctSweepConfig& sweep) {
+// Scalar metrics of one dynamic-star run, as stored per sweep job.
+inline std::map<std::string, double> fct_metrics(const harness::DynamicExperimentResult& r) {
+  const auto s = r.fcts.summarize();
+  return {{"avg_overall_ms", s.avg_overall_ms},
+          {"avg_small_ms", s.avg_small_ms},
+          {"avg_medium_ms", s.avg_medium_ms},
+          {"avg_large_ms", s.avg_large_ms},
+          {"p99_small_ms", s.p99_small_ms},
+          {"p99_overall_ms", s.p99_overall_ms},
+          {"flows", static_cast<double>(s.count)},
+          {"incomplete", static_cast<double>(r.incomplete)},
+          {"drops", static_cast<double>(r.drops)},
+          {"marks", static_cast<double>(r.marks)}};
+}
+
+// Folds the (scheme, load) aggregates (seed-mean of every metric) back into
+// the map the table/CSV printers consume. With a single seed this is
+// exactly the per-run summary, so the output matches the old serial driver
+// byte for byte.
+inline FctResults fct_results_from_store(const sweep::ResultStore& store) {
   FctResults results;
-  for (const auto kind : sweep.schemes) {
-    for (const double load : sweep.loads) {
-      harness::DynamicStarConfig cfg;
-      cfg.star = testbed_star(kind, /*num_hosts=*/5, {1, 1, 1, 1, 1});
-      cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
-      cfg.client_host = 0;
-      cfg.num_servers = 4;
-      cfg.num_flows = sweep.flows;
-      cfg.load = load;
-      cfg.dist = &workload::web_search_workload();
-      cfg.cc = core::scheme_uses_ecn(kind) ? sweep.ecn_cc : sweep.default_cc;
-      cfg.pias = true;
-      cfg.pias_threshold_bytes = 100'000;
-      cfg.first_service_queue = 1;
-      cfg.seed = sweep.seed;
-      const auto r = harness::run_dynamic_star_experiment(cfg);
-      if (r.incomplete > 0) {
-        std::fprintf(stderr, "warning: %zu flows incomplete (%s, load %.0f%%)\n", r.incomplete,
-                     std::string(core::scheme_name(kind)).c_str(), load * 100);
-      }
-      results[kind][load] = r.fcts.summarize();
+  for (const auto& row : store.aggregate("seed")) {
+    if (row.replicas == 0) continue;  // every replica failed; printers show n/a
+    stats::FctSummary s;
+    const auto metric = [&](const char* name) {
+      const auto it = row.metrics.find(name);
+      return it == row.metrics.end() ? 0.0 : it->second.mean;
+    };
+    s.avg_overall_ms = metric("avg_overall_ms");
+    s.avg_small_ms = metric("avg_small_ms");
+    s.avg_medium_ms = metric("avg_medium_ms");
+    s.avg_large_ms = metric("avg_large_ms");
+    s.p99_small_ms = metric("p99_small_ms");
+    s.p99_overall_ms = metric("p99_overall_ms");
+    s.count = static_cast<std::size_t>(std::llround(metric("flows")));
+    std::string scheme;
+    double load = 0.0;
+    for (const auto& [axis, value] : row.coords) {
+      if (axis == "scheme") scheme = value.label;
+      if (axis == "load") load = value.number;
     }
+    results[core::parse_scheme(scheme)][load] = s;
   }
   return results;
+}
+
+// One grid point of the Fig. 8/9 scenario. Constructs a fresh simulator and
+// star topology from the point alone (required by the sweep contract).
+inline std::map<std::string, double> run_fct_job(const FctSweepConfig& sweep,
+                                                 const sweep::JobPoint& point) {
+  const auto kind = core::parse_scheme(point.label("scheme"));
+  harness::DynamicStarConfig cfg;
+  cfg.star = testbed_star(kind, /*num_hosts=*/5, {1, 1, 1, 1, 1});
+  cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
+  cfg.client_host = 0;
+  cfg.num_servers = 4;
+  cfg.num_flows = sweep.flows;
+  cfg.load = point.number("load");
+  cfg.dist = &workload::web_search_workload();
+  cfg.cc = core::scheme_uses_ecn(kind) ? sweep.ecn_cc : sweep.default_cc;
+  cfg.pias = true;
+  cfg.pias_threshold_bytes = 100'000;
+  cfg.first_service_queue = 1;
+  cfg.seed = static_cast<std::uint64_t>(point.number("seed"));
+  return fct_metrics(harness::run_dynamic_star_experiment(cfg));
+}
+
+// Runs the whole grid through the sweep engine (--jobs/--strict/--json...,
+// see run_sweep) and re-prints the serial driver's incomplete-flow warnings
+// in job order.
+inline SweepRun run_fct_sweep(const harness::Cli& cli, std::string name,
+                              const FctSweepConfig& sweep) {
+  auto run = run_sweep(
+      cli, std::move(name), scheme_load_seed_spec(sweep.schemes, sweep.loads, sweep.seeds),
+      [&sweep](const sweep::JobPoint& point) { return run_fct_job(sweep, point); });
+  for (const auto& o : run.store.outcomes()) {
+    const auto it = o.metrics.find("incomplete");
+    if (it != o.metrics.end() && it->second > 0) {
+      std::fprintf(stderr, "warning: %.0f flows incomplete (%s, load %.0f%%)\n", it->second,
+                   o.point.label("scheme").c_str(), o.point.number("load") * 100);
+    }
+  }
+  return run;
 }
 
 // Prints one metric table: rows = schemes, columns = loads, values
@@ -61,15 +122,25 @@ inline void print_fct_metric(const FctResults& results, core::SchemeKind referen
   std::vector<std::string> header{"scheme"};
   for (const double l : loads) header.push_back(fmt(l * 100, 0) + "%");
   harness::Table t(std::move(header));
+  // A (scheme, load) cell can be absent when every seed replica of that job
+  // failed (fault isolation keeps the rest of the sweep alive) — print n/a.
+  const auto lookup = [&results, metric](core::SchemeKind k, double l) {
+    const auto ki = results.find(k);
+    if (ki == results.end()) return 0.0;
+    const auto li = ki->second.find(l);
+    return li == ki->second.end() ? 0.0 : li->second.*metric;
+  };
   for (const auto& [kind, by_load] : results) {
     std::vector<std::string> row{std::string(core::scheme_name(kind))};
     for (const double l : loads) {
-      const double ref = results.at(reference).at(l).*metric;
-      const double v = by_load.at(l).*metric;
-      if (kind == reference) {
-        row.push_back(fmt(v, 2) + "ms");
+      const double ref = lookup(reference, l);
+      const auto li = by_load.find(l);
+      if (li == by_load.end()) {
+        row.push_back("n/a");
+      } else if (kind == reference) {
+        row.push_back(fmt(li->second.*metric, 2) + "ms");
       } else {
-        row.push_back(ref > 0 ? fmt(v / ref, 2) + "x" : "n/a");
+        row.push_back(ref > 0 ? fmt(li->second.*metric / ref, 2) + "x" : "n/a");
       }
     }
     t.row(std::move(row));
@@ -79,7 +150,8 @@ inline void print_fct_metric(const FctResults& results, core::SchemeKind referen
 }
 
 // Tidy CSV export of a whole sweep: one row per (scheme, load) with every
-// summary metric — ready for pandas/gnuplot.
+// summary metric — ready for pandas/gnuplot. Values are seed-means (the
+// per-seed records live in the sweep JSON).
 inline void write_fct_csv(const std::string& dir, const std::string& name,
                           const FctResults& results) {
   if (dir.empty()) return;

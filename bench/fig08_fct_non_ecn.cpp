@@ -1,6 +1,8 @@
 // Figure 8: FCT comparison against the non-ECN schemes (BestEffort, PQL)
 // with SPQ(1)/DRR(4), web search workload, PIAS 100 KB demotion, traffic
 // load swept 30-80%. All series are normalized by DynaQ as in the paper.
+// The (scheme x load x seed) grid runs through the sweep engine: --jobs N
+// parallelizes it, --seeds 1,2,3 adds replicas, --json emits the records.
 #include "bench/fct_common.hpp"
 
 using namespace dynaq;
@@ -9,18 +11,20 @@ int main(int argc, char** argv) {
   const harness::Cli cli(argc, argv);
   const bool full = cli.flag("full");
   bench::FctSweepConfig sweep;
-  sweep.schemes = {core::SchemeKind::kDynaQ, core::SchemeKind::kBestEffort,
-                   core::SchemeKind::kPql};
+  sweep.schemes = bench::schemes_from_cli(
+      cli, {core::SchemeKind::kDynaQ, core::SchemeKind::kBestEffort, core::SchemeKind::kPql});
   sweep.loads = cli.reals("loads", full ? std::vector<double>{0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
                                         : std::vector<double>{0.3, 0.5, 0.7});
   sweep.flows = static_cast<std::size_t>(cli.integer("flows", full ? 10'000 : 1'500));
-  sweep.seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
+  sweep.seeds = cli.reals("seeds", {static_cast<double>(cli.integer("seed", 1))});
+  const auto csv_dir = cli.text("csv", "");
 
   std::puts("Figure 8 — FCT vs non-ECN schemes, SPQ(1)/DRR(4), web search workload");
   std::printf("(%zu flows per run, PIAS demotion at 100KB, TCP/NewReno)\n\n", sweep.flows);
 
-  const auto results = bench::run_fct_sweep(sweep);
-  bench::write_fct_csv(cli.text("csv", ""), "fig08", results);
+  const auto run = bench::run_fct_sweep(cli, "fig08_fct_non_ecn", sweep);
+  const auto results = bench::fct_results_from_store(run.store);
+  bench::write_fct_csv(csv_dir, "fig08", results);
   bench::print_fct_metric(results, core::SchemeKind::kDynaQ, sweep.loads,
                           "(a) average FCT, overall", &stats::FctSummary::avg_overall_ms);
   bench::print_fct_metric(results, core::SchemeKind::kDynaQ, sweep.loads,
@@ -36,5 +40,5 @@ int main(int argc, char** argv) {
   std::puts("paper shape: DynaQ ~ BestEffort overall (0.90x-1.02x); DynaQ beats PQL on");
   std::puts("large flows (up to 1.95x); DynaQ clearly best on small-flow avg and p99,");
   std::puts("with BestEffort's p99 exploding at high load (8.4x at 60%)");
-  return 0;
+  return run.exit_code;
 }

@@ -1,6 +1,7 @@
 // Figure 9: FCT comparison against the ECN-based schemes (TCN, PMSB,
 // Per-Queue ECN) running DCTCP, versus DynaQ running plain TCP. Same
-// SPQ(1)/DRR(4) + PIAS setup as Figure 8, normalized by DynaQ.
+// SPQ(1)/DRR(4) + PIAS setup as Figure 8, normalized by DynaQ. The grid
+// runs through the sweep engine (--jobs/--seeds/--json, see fig08).
 #include "bench/fct_common.hpp"
 
 using namespace dynaq;
@@ -9,18 +10,21 @@ int main(int argc, char** argv) {
   const harness::Cli cli(argc, argv);
   const bool full = cli.flag("full");
   bench::FctSweepConfig sweep;
-  sweep.schemes = {core::SchemeKind::kDynaQ, core::SchemeKind::kTcn, core::SchemeKind::kPmsb,
-                   core::SchemeKind::kPerQueueEcn};
+  sweep.schemes = bench::schemes_from_cli(
+      cli, {core::SchemeKind::kDynaQ, core::SchemeKind::kTcn, core::SchemeKind::kPmsb,
+            core::SchemeKind::kPerQueueEcn});
   sweep.loads = cli.reals("loads", full ? std::vector<double>{0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
                                         : std::vector<double>{0.3, 0.5, 0.7});
   sweep.flows = static_cast<std::size_t>(cli.integer("flows", full ? 10'000 : 1'500));
-  sweep.seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
+  sweep.seeds = cli.reals("seeds", {static_cast<double>(cli.integer("seed", 1))});
+  const auto csv_dir = cli.text("csv", "");
 
   std::puts("Figure 9 — FCT vs ECN-based schemes (DCTCP senders), SPQ(1)/DRR(4)");
   std::printf("(%zu flows per run, K=30KB, TCN sojourn threshold 240us)\n\n", sweep.flows);
 
-  const auto results = bench::run_fct_sweep(sweep);
-  bench::write_fct_csv(cli.text("csv", ""), "fig09", results);
+  const auto run = bench::run_fct_sweep(cli, "fig09_fct_ecn", sweep);
+  const auto results = bench::fct_results_from_store(run.store);
+  bench::write_fct_csv(csv_dir, "fig09", results);
   bench::print_fct_metric(results, core::SchemeKind::kDynaQ, sweep.loads,
                           "(a) average FCT, overall", &stats::FctSummary::avg_overall_ms);
   bench::print_fct_metric(results, core::SchemeKind::kDynaQ, sweep.loads,
@@ -36,5 +40,5 @@ int main(int argc, char** argv) {
   std::puts("paper shape: mixed overall results at 30-40% load (TCN up to 0.95x), DynaQ");
   std::puts("ahead elsewhere (1.28x-1.99x); for small flows DynaQ wins across loads,");
   std::puts("most dramatically at 30% load (>12x vs PMSB/Per-Queue ECN)");
-  return 0;
+  return run.exit_code;
 }

@@ -1,10 +1,12 @@
 // Figure 13: large-scale dynamic flows on a 12x12 leaf-spine fabric —
 // 144 hosts, SPQ(1)/DRR(7), 7 services each with its own workload CDF,
 // ECMP, PIAS 100 KB, load swept 30-80%. Reports the average overall FCT
-// and the 99th-percentile small-flow FCT, normalized by DynaQ.
+// and the 99th-percentile small-flow FCT, normalized by DynaQ. The
+// (scheme x load x seed) grid runs through the sweep engine — this is by
+// far the slowest figure, so --jobs N matters most here.
 #include <map>
 
-#include "bench/common.hpp"
+#include "bench/fct_common.hpp"
 
 using namespace dynaq;
 
@@ -15,61 +17,47 @@ int main(int argc, char** argv) {
                                              : std::vector<double>{0.3, 0.5, 0.7});
   const auto flows = static_cast<std::size_t>(cli.integer("flows", full ? 10'000 : 1'200));
   const int leaves = static_cast<int>(cli.integer("leaves", full ? 12 : 6));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
+  const auto seeds = cli.reals("seeds", {static_cast<double>(cli.integer("seed", 1))});
+  const auto kinds = bench::schemes_from_cli(
+      cli, {core::SchemeKind::kDynaQ, core::SchemeKind::kBestEffort, core::SchemeKind::kPql});
 
   std::printf("Figure 13 — leaf-spine fabric (%dx%d, %d hosts), SPQ(1)/DRR(7), ECMP\n", leaves,
               leaves, leaves * leaves);
   std::printf("(%zu flows per run, 7 services cycling the four workload CDFs)\n\n", flows);
 
-  const std::vector<core::SchemeKind> kinds = {
-      core::SchemeKind::kDynaQ, core::SchemeKind::kBestEffort, core::SchemeKind::kPql};
-  std::map<core::SchemeKind, std::map<double, stats::FctSummary>> results;
-  for (const auto kind : kinds) {
-    for (const double load : loads) {
-      harness::DynamicLeafSpineConfig cfg;
-      cfg.fabric.num_leaves = leaves;
-      cfg.fabric.num_spines = leaves;
-      cfg.fabric.hosts_per_leaf = leaves;
-      cfg.fabric.queue_weights.assign(8, 1.0);
-      cfg.fabric.scheme.kind = kind;
-      cfg.fabric.scheduler = topo::SchedulerKind::kSpqOverDrr;
-      cfg.num_flows = flows;
-      cfg.load = load;
-      cfg.num_services = 7;
-      cfg.seed = seed;
-      const auto r = harness::run_dynamic_leaf_spine_experiment(cfg);
-      if (r.incomplete > 0) {
-        std::fprintf(stderr, "warning: %zu flows incomplete (%s, load %.0f%%)\n", r.incomplete,
-                     std::string(core::scheme_name(kind)).c_str(), load * 100);
-      }
-      results[kind][load] = r.fcts.summarize();
+  const auto run = bench::run_sweep(
+      cli, "fig13_leaf_spine", bench::scheme_load_seed_spec(kinds, loads, seeds),
+      [&](const sweep::JobPoint& point) {
+        harness::DynamicLeafSpineConfig cfg;
+        cfg.fabric.num_leaves = leaves;
+        cfg.fabric.num_spines = leaves;
+        cfg.fabric.hosts_per_leaf = leaves;
+        cfg.fabric.queue_weights.assign(8, 1.0);
+        cfg.fabric.scheme.kind = core::parse_scheme(point.label("scheme"));
+        cfg.fabric.scheduler = topo::SchedulerKind::kSpqOverDrr;
+        cfg.num_flows = flows;
+        cfg.load = point.number("load");
+        cfg.num_services = 7;
+        cfg.seed = static_cast<std::uint64_t>(point.number("seed"));
+        return bench::fct_metrics(harness::run_dynamic_leaf_spine_experiment(cfg));
+      });
+  for (const auto& o : run.store.outcomes()) {
+    const auto it = o.metrics.find("incomplete");
+    if (it != o.metrics.end() && it->second > 0) {
+      std::fprintf(stderr, "warning: %.0f flows incomplete (%s, load %.0f%%)\n", it->second,
+                   o.point.label("scheme").c_str(), o.point.number("load") * 100);
     }
   }
+  const auto results = bench::fct_results_from_store(run.store);
 
   for (const auto& [title, metric] :
        std::vector<std::pair<const char*, double stats::FctSummary::*>>{
            {"(a) average FCT, overall", &stats::FctSummary::avg_overall_ms},
            {"(b) 99th percentile FCT, small flows", &stats::FctSummary::p99_small_ms}}) {
-    std::printf("%s (normalized by DynaQ; raw DynaQ ms on its row)\n", title);
-    std::vector<std::string> header{"scheme"};
-    for (const double l : loads) header.push_back(bench::fmt(l * 100, 0) + "%");
-    harness::Table t(std::move(header));
-    for (const auto kind : kinds) {
-      std::vector<std::string> row{std::string(core::scheme_name(kind))};
-      for (const double l : loads) {
-        const double ref = results[core::SchemeKind::kDynaQ][l].*metric;
-        const double v = results[kind][l].*metric;
-        row.push_back(kind == core::SchemeKind::kDynaQ
-                          ? bench::fmt(v, 2) + "ms"
-                          : (ref > 0 ? bench::fmt(v / ref, 2) + "x" : "n/a"));
-      }
-      t.row(std::move(row));
-    }
-    t.print();
-    std::puts("");
+    bench::print_fct_metric(results, core::SchemeKind::kDynaQ, loads, title, metric);
   }
   std::puts("paper shape: at 10Gbps the gaps compress — DynaQ ~ BestEffort (0.98x-1.01x");
   std::puts("overall), DynaQ > PQL overall, and p99 small-flow FCTs nearly tie (PQL");
   std::puts("at best 0.98x)");
-  return 0;
+  return run.exit_code;
 }

@@ -74,6 +74,30 @@ inline void print_high_speed(const std::vector<HighSpeedRow>& rows) {
   t.print();
 }
 
+// Scalar summary of one high-speed run, as stored per sweep job (same
+// quantities print_high_speed_summary reports).
+inline std::map<std::string, double> high_speed_metrics(const std::vector<HighSpeedRow>& rows) {
+  double min_jain = 1.0;
+  double sum_jain = 0.0;
+  double sum_agg = 0.0;
+  double last_phase_agg = 0.0;
+  std::size_t last_n = 0;
+  for (const auto& row : rows) {
+    min_jain = std::min(min_jain, row.jain);
+    sum_jain += row.jain;
+    sum_agg += row.aggregate_gbps;
+    if (row.time_ms > 520.0) {
+      last_phase_agg += row.aggregate_gbps;
+      ++last_n;
+    }
+  }
+  const double n = rows.empty() ? 1.0 : static_cast<double>(rows.size());
+  return {{"mean_jain", sum_jain / n},
+          {"min_jain", min_jain},
+          {"mean_aggregate_gbps", sum_agg / n},
+          {"last_phase_gbps", last_n > 0 ? last_phase_agg / static_cast<double>(last_n) : 0.0}};
+}
+
 inline void print_high_speed_summary(const std::vector<HighSpeedRow>& rows, double line_gbps) {
   double min_jain = 1.0;
   double sum_jain = 0.0;

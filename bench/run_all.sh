@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
 # Regenerates every paper figure, ablation and micro-benchmark.
 #
-#   bench/run_all.sh [build-dir] [output-dir] [--full]
+#   bench/run_all.sh [build-dir] [output-dir] [--full] [--jobs N]
 #
-# Text reports land in <output-dir>/<bench>.txt and machine-readable series
-# in <output-dir>/csv/. Pass --full for paper-scale parameters (the FCT and
-# leaf-spine sweeps then take tens of minutes).
+# Text reports land in <output-dir>/<bench>.txt, machine-readable series in
+# <output-dir>/csv/, and sweep results (per-job records + seed aggregates,
+# DESIGN.md §7) in <output-dir>/json/. Pass --full for paper-scale
+# parameters; --jobs N fans the sweep-driven figures (8, 9, 12, 13) out
+# over N worker threads (default: all hardware threads).
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT_DIR="${2:-results}"
+BUILD_DIR="build"
+OUT_DIR="results"
+if [[ $# -ge 1 && "$1" != --* ]]; then BUILD_DIR="$1"; fi
+if [[ $# -ge 2 && "$2" != --* ]]; then OUT_DIR="$2"; fi
 FULL_FLAG=""
-for arg in "$@"; do
-  [[ "$arg" == "--full" ]] && FULL_FLAG="--full"
+JOBS=""
+args=("$@")
+for i in "${!args[@]}"; do
+  case "${args[$i]}" in
+    --full) FULL_FLAG="--full" ;;
+    --jobs) JOBS="${args[$((i + 1))]:-}" ;;
+    --jobs=*) JOBS="${args[$i]#--jobs=}" ;;
+  esac
 done
+JOBS_FLAG="--jobs=${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-mkdir -p "$OUT_DIR/csv"
+mkdir -p "$OUT_DIR/csv" "$OUT_DIR/json"
 
 run() {
   local bin="$1"
@@ -23,7 +34,12 @@ run() {
   local name
   name="$(basename "$bin")"
   echo "=== $name $* ==="
-  "$bin" "$@" | tee "$OUT_DIR/$name.txt"
+  # `set -o pipefail` alone would abort without saying which binary died;
+  # catch the pipe status so the failing bench is named before we stop.
+  if ! "$bin" "$@" | tee "$OUT_DIR/$name.txt"; then
+    echo "error: $name failed (exit ${PIPESTATUS[0]}); report in $OUT_DIR/$name.txt" >&2
+    exit 1
+  fi
   echo
 }
 
@@ -31,13 +47,16 @@ for fig in fig01_motivation fig02_workloads fig04_queue_evolution \
            fig05_fair_sharing fig06_weights fig07_protocols; do
   run "$BUILD_DIR/bench/$fig" $FULL_FLAG
 done
-for fig in fig03_convergence fig10_10g fig11_100g fig12_many_flows; do
+for fig in fig03_convergence fig10_10g fig11_100g; do
   run "$BUILD_DIR/bench/$fig" $FULL_FLAG --csv "$OUT_DIR/csv"
 done
+run "$BUILD_DIR/bench/fig12_many_flows" $FULL_FLAG --csv "$OUT_DIR/csv" \
+    "$JOBS_FLAG" --json "$OUT_DIR/json"
 for fig in fig08_fct_non_ecn fig09_fct_ecn; do
-  run "$BUILD_DIR/bench/$fig" $FULL_FLAG --csv "$OUT_DIR/csv"
+  run "$BUILD_DIR/bench/$fig" $FULL_FLAG --csv "$OUT_DIR/csv" \
+      "$JOBS_FLAG" --json "$OUT_DIR/json"
 done
-run "$BUILD_DIR/bench/fig13_leaf_spine" $FULL_FLAG
+run "$BUILD_DIR/bench/fig13_leaf_spine" $FULL_FLAG "$JOBS_FLAG" --json "$OUT_DIR/json"
 
 for abl in abl_victim_selection abl_satisfaction abl_dt_baseline abl_eviction \
            abl_tna_staleness abl_shared_pool abl_generic_ecn abl_delay_based; do

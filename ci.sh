@@ -16,10 +16,24 @@ for arg in "$@"; do
   [[ "$arg" == "--skip-asan" ]] && skip_asan=1
 done
 
+# Smoke sweep (2 schemes x 2 seeds, --jobs 2, --strict): exercises the
+# src/sweep worker pool end to end. Under the sanitizer configuration it
+# doubles as a data-race shakeout; under the perf configuration its JSON
+# (per-job wall time + FCT aggregates) becomes the repo-root BENCH_sweep.json
+# perf trajectory.
+smoke_sweep() {  # smoke_sweep <build-dir> [extra flags...]
+  local build="$1"
+  shift
+  "$build/bench/fig08_fct_non_ecn" --schemes=DynaQ,BestEffort --seeds=1,2 \
+      --loads=0.5 --flows=200 --jobs=2 --strict "$@" > /dev/null
+}
+
 echo "==> [1/3] RelWithDebInfo + -Werror"
 cmake -B build-ci -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYNAQ_WERROR=ON > /dev/null
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci -j "$jobs" --output-on-failure
+echo "==> [1/3] smoke sweep -> BENCH_sweep.json"
+smoke_sweep build-ci --bench-json BENCH_sweep.json
 
 if [[ $skip_asan -eq 0 ]]; then
   echo "==> [2/3] ASan+UBSan ctest"
@@ -27,6 +41,8 @@ if [[ $skip_asan -eq 0 ]]; then
         "-DDYNAQ_SANITIZE=address;undefined" > /dev/null
   cmake --build build-asan -j "$jobs"
   ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan -j "$jobs" --output-on-failure
+  echo "==> [2/3] ASan+UBSan smoke sweep (--jobs 2)"
+  ASAN_OPTIONS=detect_leaks=1 smoke_sweep build-asan --json build-asan
 else
   echo "==> [2/3] ASan+UBSan ctest (skipped)"
 fi

@@ -1,10 +1,15 @@
 // Minimal command-line flag parsing for bench/example binaries:
-// --name=value, --name value, and boolean --name.
+// --name=value, --name value, and boolean --name. Every accessor records
+// the flag name it was asked for, so after a binary has read all its flags
+// it can call unknown() / complain_unknown() to catch typos
+// (--seeed=3 used to be silently ignored).
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,31 +33,39 @@ class Cli {
     }
   }
 
-  bool has(const std::string& name) const { return values_.contains(name); }
+  bool has(const std::string& name) const {
+    queried_.insert(name);
+    return values_.contains(name);
+  }
 
   bool flag(const std::string& name, bool fallback = false) const {
+    queried_.insert(name);
     const auto it = values_.find(name);
     if (it == values_.end()) return fallback;
     return it->second != "false" && it->second != "0";
   }
 
   std::int64_t integer(const std::string& name, std::int64_t fallback) const {
+    queried_.insert(name);
     const auto it = values_.find(name);
     return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
   }
 
   double real(const std::string& name, double fallback) const {
+    queried_.insert(name);
     const auto it = values_.find(name);
     return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
   }
 
   std::string text(const std::string& name, std::string fallback) const {
+    queried_.insert(name);
     const auto it = values_.find(name);
     return it == values_.end() ? std::move(fallback) : it->second;
   }
 
   // Comma-separated list of doubles, e.g. --loads=0.3,0.5,0.8.
   std::vector<double> reals(const std::string& name, std::vector<double> fallback) const {
+    queried_.insert(name);
     const auto it = values_.find(name);
     if (it == values_.end()) return fallback;
     std::vector<double> out;
@@ -67,8 +80,48 @@ class Cli {
     return out;
   }
 
+  // Comma-separated list of strings, e.g. --schemes=DynaQ,PQL.
+  std::vector<std::string> list(const std::string& name,
+                                std::vector<std::string> fallback) const {
+    queried_.insert(name);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    const std::string& s = it->second;
+    while (pos < s.size()) {
+      std::size_t next = s.find(',', pos);
+      if (next == std::string::npos) next = s.size();
+      out.push_back(s.substr(pos, next - pos));
+      pos = next + 1;
+    }
+    return out;
+  }
+
+  // Flags that were given on the command line but never looked up by any
+  // accessor. Only meaningful after the binary has read all its flags.
+  std::vector<std::string> unknown() const {
+    std::vector<std::string> out;
+    for (const auto& [name, value] : values_) {
+      if (!queried_.contains(name)) out.push_back(name);
+    }
+    return out;
+  }
+
+  // Warns on stderr about unrecognized flags; returns true (i.e. "abort")
+  // only when `strict` is set and at least one flag was unrecognized.
+  bool complain_unknown(bool strict) const {
+    const auto bad = unknown();
+    for (const auto& name : bad) {
+      std::fprintf(stderr, "%s: unrecognized flag --%s\n", strict ? "error" : "warning",
+                   name.c_str());
+    }
+    return strict && !bad.empty();
+  }
+
  private:
   std::map<std::string, std::string> values_;
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace dynaq::harness

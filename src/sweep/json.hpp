@@ -1,0 +1,109 @@
+// Minimal streaming JSON writer with deterministic formatting: keys emit in
+// call order, doubles print as integers when exactly integral and via "%.12g"
+// otherwise, strings are escaped per RFC 8259. Enough for the sweep results
+// schema without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dynaq::sweep {
+
+class JsonWriter {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& k) {
+    comma();
+    write_string(k);
+    out_ += ':';
+    just_keyed_ = true;
+  }
+
+  void value(const std::string& s) {
+    comma();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string(s)); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void value(std::int64_t n) {
+    comma();
+    out_ += std::to_string(n);
+  }
+  void value(std::size_t n) { value(static_cast<std::int64_t>(n)); }
+  void value(int n) { value(static_cast<std::int64_t>(n)); }
+  void value(double d) {
+    comma();
+    out_ += format_number(d);
+  }
+
+  static std::string format_number(double d) {
+    if (d == static_cast<double>(static_cast<std::int64_t>(d)) && d >= -1e15 && d <= 1e15) {
+      return std::to_string(static_cast<std::int64_t>(d));
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", d);
+    return buf;
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    fresh_.push_back(true);
+  }
+  void close(char c) {
+    out_ += c;
+    fresh_.pop_back();
+    just_keyed_ = false;
+  }
+  // Insert "," before any value/key that is neither the first element of its
+  // container nor the value immediately following a key.
+  void comma() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!fresh_.empty()) {
+      if (!fresh_.back()) out_ += ',';
+      fresh_.back() = false;
+    }
+  }
+  void write_string(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  // per open container: no element emitted yet
+  bool just_keyed_ = false;
+};
+
+}  // namespace dynaq::sweep

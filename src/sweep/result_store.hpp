@@ -1,0 +1,107 @@
+// Sweep results: per-job records (metrics, error, runtime, rusage) stored
+// in job-id order, seed-replica aggregation (mean/p50/p99 + 95% confidence
+// interval per metric), and machine-readable emission as JSON (schema in
+// DESIGN.md §7) or tidy CSV. Everything except the optional perf section is
+// a pure function of the spec and the job results, so emitted bytes are
+// identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.hpp"
+
+namespace dynaq::sweep {
+
+struct JobOutcome {
+  JobPoint point;
+  std::map<std::string, double> metrics;  // empty unless ok
+  bool ok = false;
+  bool timed_out = false;
+  int attempts = 0;
+  std::string error;       // what() of the captured exception, if any
+  double wall_ms = 0.0;    // last attempt's wall-clock time
+  double cpu_ms = 0.0;     // last attempt's thread CPU time (user+sys)
+};
+
+// Distribution of one metric across seed replicas.
+struct MetricAggregate {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  // Half-width of the 95% CI of the mean (Student t); 0 when n < 2.
+  double ci95_half = 0.0;
+};
+
+MetricAggregate aggregate_samples(std::vector<double> samples);
+
+// One aggregate row: the grid point minus the replica axis, plus the
+// per-metric distributions over the replicas that succeeded.
+struct AggregateRow {
+  std::vector<std::pair<std::string, AxisValue>> coords;
+  std::size_t replicas = 0;  // successful jobs folded in
+  std::map<std::string, MetricAggregate> metrics;
+};
+
+struct JsonOptions {
+  // Include per-job wall/cpu times and the sweep perf block. The
+  // determinism contract (byte-identical output for any --jobs) holds only
+  // with this off; bench binaries keep it on so the JSON doubles as a perf
+  // record.
+  bool include_perf = true;
+};
+
+class ResultStore {
+ public:
+  ResultStore(std::string sweep_name, SweepSpec spec)
+      : name_(std::move(sweep_name)), spec_(std::move(spec)) {}
+
+  const std::string& name() const { return name_; }
+  const SweepSpec& spec() const { return spec_; }
+
+  // Outcomes arrive from the runner already indexed by job id.
+  void set_outcomes(std::vector<JobOutcome> outcomes) { outcomes_ = std::move(outcomes); }
+  const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
+  const JobOutcome& outcome(std::size_t job_id) const { return outcomes_.at(job_id); }
+
+  std::size_t failures() const;
+  bool all_ok() const { return failures() == 0; }
+
+  // Sweep-level perf context, reported in the JSON perf block.
+  void set_run_info(int jobs, double total_wall_ms, std::int64_t max_rss_kb) {
+    jobs_used_ = jobs;
+    total_wall_ms_ = total_wall_ms;
+    max_rss_kb_ = max_rss_kb;
+  }
+  double total_wall_ms() const { return total_wall_ms_; }
+
+  // Groups successful outcomes by every axis except `replica_axis` (in job
+  // order) and aggregates each metric. A spec without that axis yields one
+  // single-replica row per job.
+  std::vector<AggregateRow> aggregate(const std::string& replica_axis = "seed") const;
+
+  // Serialization. write_json returns false (and warns on stderr) when the
+  // path cannot be opened.
+  std::string to_json(const JsonOptions& options = {},
+                      const std::string& replica_axis = "seed") const;
+  bool write_json(const std::string& path, const JsonOptions& options = {},
+                  const std::string& replica_axis = "seed") const;
+  // Tidy CSV: one row per job — axis columns, then the sorted union of
+  // metric names, then ok/error.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string name_;
+  SweepSpec spec_;
+  std::vector<JobOutcome> outcomes_;
+  int jobs_used_ = 0;
+  double total_wall_ms_ = 0.0;
+  std::int64_t max_rss_kb_ = 0;
+};
+
+}  // namespace dynaq::sweep

@@ -58,6 +58,33 @@ TEST(Cli, CommaSeparatedReals) {
   ASSERT_EQ(fallback.size(), 1u);
 }
 
+TEST(Cli, CommaSeparatedStrings) {
+  const auto cli = make_cli({"--schemes=DynaQ,PQL"});
+  const auto schemes = cli.list("schemes", {});
+  ASSERT_EQ(schemes.size(), 2u);
+  EXPECT_EQ(schemes[0], "DynaQ");
+  EXPECT_EQ(schemes[1], "PQL");
+  EXPECT_EQ(cli.list("absent", {"x"}).size(), 1u);
+}
+
+TEST(Cli, UnknownFlagsAreTheOnesNeverQueried) {
+  const auto cli = make_cli({"--seeed=3", "--flows=10", "--strict"});
+  EXPECT_EQ(cli.integer("flows", 0), 10);
+  EXPECT_TRUE(cli.flag("strict"));
+  const auto bad = cli.unknown();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "seeed");  // the typo --seed would have been silently ignored
+  EXPECT_TRUE(cli.complain_unknown(/*strict=*/true));
+  EXPECT_FALSE(cli.complain_unknown(/*strict=*/false));
+}
+
+TEST(Cli, NoUnknownFlagsWhenAllQueried) {
+  const auto cli = make_cli({"--flows=10"});
+  EXPECT_EQ(cli.integer("flows", 0), 10);
+  EXPECT_TRUE(cli.unknown().empty());
+  EXPECT_FALSE(cli.complain_unknown(/*strict=*/true));
+}
+
 // -------------------------------------------------------------- Table --
 
 TEST(Table, AlignsColumns) {

@@ -1,0 +1,269 @@
+// Sweep-engine tests: grid expansion, worker-pool determinism (byte-
+// identical JSON for any --jobs), per-job fault isolation (a throwing job
+// is captured, its siblings finish), timeout, retry-once, seed-replica
+// aggregation and the JSON/CSV emitters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "check/invariant_auditor.hpp"
+#include "sweep/json.hpp"
+#include "sweep/result_store.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "sweep/sweep_spec.hpp"
+
+namespace dynaq {
+namespace {
+
+using sweep::Axis;
+using sweep::JobPoint;
+using sweep::ResultStore;
+using sweep::RunnerOptions;
+using sweep::SweepRunner;
+using sweep::SweepSpec;
+
+SweepSpec scheme_load_seed_grid() {  // 3 x 2 x 2 = 12 jobs
+  SweepSpec spec;
+  spec.axes = {Axis::labels("scheme", {"DynaQ", "BestEffort", "PQL"}),
+               Axis::numeric("load", {0.3, 0.7}), Axis::numeric("seed", {1, 2})};
+  return spec;
+}
+
+// Deterministic pseudo-experiment: metrics depend only on the point.
+std::map<std::string, double> fake_job(const JobPoint& p) {
+  const double scheme_bias = static_cast<double>(p.label("scheme").size());
+  return {{"fct_ms", scheme_bias * p.number("load") + p.number("seed") / 8.0},
+          {"drops", std::floor(10.0 * p.number("load"))}};
+}
+
+// ------------------------------------------------------------- spec --
+
+TEST(SweepSpec, CartesianExpandsLastAxisFastest) {
+  const auto points = scheme_load_seed_grid().expand();
+  ASSERT_EQ(points.size(), 12u);
+  EXPECT_EQ(points[0].name(), "scheme=DynaQ load=0.3 seed=1");
+  EXPECT_EQ(points[1].name(), "scheme=DynaQ load=0.3 seed=2");
+  EXPECT_EQ(points[2].name(), "scheme=DynaQ load=0.7 seed=1");
+  EXPECT_EQ(points[4].name(), "scheme=BestEffort load=0.3 seed=1");
+  EXPECT_EQ(points[11].name(), "scheme=PQL load=0.7 seed=2");
+  for (std::size_t i = 0; i < points.size(); ++i) EXPECT_EQ(points[i].job_id, i);
+}
+
+TEST(SweepSpec, ZippedPairsValuesPositionally) {
+  SweepSpec spec;
+  spec.zipped = true;
+  spec.axes = {Axis::numeric("load", {0.3, 0.5}), Axis::numeric("flows", {100, 200})};
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[1].number("load"), 0.5);
+  EXPECT_DOUBLE_EQ(points[1].number("flows"), 200);
+}
+
+TEST(SweepSpec, RejectsEmptyAndRaggedSpecs) {
+  EXPECT_THROW(SweepSpec{}.expand(), std::invalid_argument);
+  SweepSpec empty_axis;
+  empty_axis.axes = {Axis::numeric("load", {})};
+  EXPECT_THROW(empty_axis.expand(), std::invalid_argument);
+  SweepSpec ragged;
+  ragged.zipped = true;
+  ragged.axes = {Axis::numeric("a", {1}), Axis::numeric("b", {1, 2})};
+  EXPECT_THROW(ragged.expand(), std::invalid_argument);
+}
+
+TEST(SweepSpec, PointLookupThrowsOnUnknownAxis) {
+  const auto points = scheme_load_seed_grid().expand();
+  EXPECT_THROW(points[0].at("nope"), std::out_of_range);
+  EXPECT_EQ(points[0].label("scheme"), "DynaQ");
+}
+
+// ------------------------------------------------------ determinism --
+
+TEST(SweepRunner, TwelveJobSweepJsonBytesIdenticalForAnyWorkerCount) {
+  const auto spec = scheme_load_seed_grid();
+  // A little jitter so parallel completion order actually scrambles.
+  const auto job = [](const JobPoint& p) {
+    std::this_thread::sleep_for(std::chrono::milliseconds((p.job_id * 7) % 13));
+    return fake_job(p);
+  };
+  const sweep::JsonOptions no_perf{.include_perf = false};
+  const auto store1 = SweepRunner(RunnerOptions{.jobs = 1}).run("det", spec, job);
+  const auto store4 = SweepRunner(RunnerOptions{.jobs = 4}).run("det", spec, job);
+  ASSERT_EQ(store1.outcomes().size(), 12u);
+  EXPECT_TRUE(store1.all_ok());
+  EXPECT_TRUE(store4.all_ok());
+  EXPECT_EQ(store1.to_json(no_perf), store4.to_json(no_perf));
+
+  const std::string p1 = testing::TempDir() + "sweep_j1.json";
+  const std::string p4 = testing::TempDir() + "sweep_j4.json";
+  ASSERT_TRUE(store1.write_json(p1, no_perf));
+  ASSERT_TRUE(store4.write_json(p4, no_perf));
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  EXPECT_EQ(slurp(p1), slurp(p4));
+  EXPECT_FALSE(slurp(p1).empty());
+}
+
+// -------------------------------------------------- fault isolation --
+
+TEST(SweepRunner, AuditErrorInOneJobDoesNotAbortSiblings) {
+  const auto spec = scheme_load_seed_grid();
+  const auto job = [](const JobPoint& p) -> std::map<std::string, double> {
+    if (p.label("scheme") == "BestEffort" && p.number("seed") == 2) {
+      check::Violation v;
+      v.kind = check::ViolationKind::kThresholdSumMismatch;
+      v.scheme = "BestEffort";
+      v.detail = "injected for the fault-isolation test";
+      throw check::AuditError(v);
+    }
+    return fake_job(p);
+  };
+  const auto store = SweepRunner(RunnerOptions{.jobs = 4}).run("faulty", spec, job);
+  ASSERT_EQ(store.outcomes().size(), 12u);
+  EXPECT_EQ(store.failures(), 2u);  // loads 0.3 and 0.7 at (BestEffort, seed 2)
+  for (const auto& o : store.outcomes()) {
+    const bool should_fail =
+        o.point.label("scheme") == "BestEffort" && o.point.number("seed") == 2;
+    EXPECT_EQ(o.ok, !should_fail) << o.point.name();
+    if (should_fail) {
+      EXPECT_NE(o.error.find("injected for the fault-isolation test"), std::string::npos);
+      EXPECT_FALSE(o.timed_out);
+    } else {
+      EXPECT_FALSE(o.metrics.empty()) << o.point.name();
+    }
+  }
+  // Failed replicas drop out of aggregation: (BestEffort, *) keeps seed 1.
+  for (const auto& row : store.aggregate("seed")) {
+    std::string scheme;
+    for (const auto& [axis, value] : row.coords) {
+      if (axis == "scheme") scheme = value.label;
+    }
+    EXPECT_EQ(row.replicas, scheme == "BestEffort" ? 1u : 2u);
+  }
+}
+
+TEST(SweepRunner, RetryOnceRecoversTransientFailuresAndCountsAttempts) {
+  SweepSpec spec;
+  spec.axes = {Axis::numeric("id", {0, 1, 2})};
+  std::atomic<int> flaky_calls{0};
+  const auto job = [&flaky_calls](const JobPoint& p) -> std::map<std::string, double> {
+    if (p.number("id") == 1 && flaky_calls.fetch_add(1) == 0) {
+      throw std::runtime_error("transient");
+    }
+    if (p.number("id") == 2) throw std::runtime_error("permanent");
+    return {{"v", p.number("id")}};
+  };
+  const auto store =
+      SweepRunner(RunnerOptions{.jobs = 1, .retry_failed_once = true}).run("retry", spec, job);
+  EXPECT_TRUE(store.outcome(0).ok);
+  EXPECT_EQ(store.outcome(0).attempts, 1);
+  EXPECT_TRUE(store.outcome(1).ok);  // failed once, retried, succeeded
+  EXPECT_EQ(store.outcome(1).attempts, 2);
+  EXPECT_FALSE(store.outcome(2).ok);
+  EXPECT_EQ(store.outcome(2).attempts, 2);
+  EXPECT_EQ(store.outcome(2).error, "permanent");
+}
+
+TEST(SweepRunner, TimedOutJobIsRecordedWhileSiblingsComplete) {
+  SweepSpec spec;
+  spec.axes = {Axis::numeric("id", {0, 1, 2, 3})};
+  const auto job = [](const JobPoint& p) -> std::map<std::string, double> {
+    if (p.number("id") == 2) std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    return {{"v", 1.0}};
+  };
+  const auto store =
+      SweepRunner(RunnerOptions{.jobs = 2, .timeout_s = 0.05}).run("slow", spec, job);
+  EXPECT_EQ(store.failures(), 1u);
+  EXPECT_TRUE(store.outcome(2).timed_out);
+  EXPECT_NE(store.outcome(2).error.find("timed out"), std::string::npos);
+  for (const std::size_t id : {0u, 1u, 3u}) {
+    EXPECT_TRUE(store.outcome(id).ok) << id;
+    EXPECT_FALSE(store.outcome(id).timed_out);
+  }
+}
+
+// --------------------------------------------------- aggregation --
+
+TEST(ResultStore, AggregatesSeedReplicasWithConfidenceInterval) {
+  const auto agg = sweep::aggregate_samples({10.0, 12.0, 14.0, 16.0});
+  EXPECT_EQ(agg.n, 4u);
+  EXPECT_DOUBLE_EQ(agg.mean, 13.0);
+  EXPECT_DOUBLE_EQ(agg.min, 10.0);
+  EXPECT_DOUBLE_EQ(agg.max, 16.0);
+  EXPECT_DOUBLE_EQ(agg.p50, 13.0);
+  EXPECT_NEAR(agg.p99, 16.0, 0.25);
+  // sd = sqrt(20/3); ci = t(3df) * sd / 2 = 3.182 * 2.582 / 2.
+  EXPECT_NEAR(agg.ci95_half, 3.182 * std::sqrt(20.0 / 3.0) / 2.0, 1e-9);
+  const auto one = sweep::aggregate_samples({5.0});
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.ci95_half, 0.0);
+}
+
+TEST(ResultStore, AggregateGroupsByNonReplicaAxes) {
+  const auto spec = scheme_load_seed_grid();
+  const auto store = SweepRunner(RunnerOptions{.jobs = 2}).run("agg", spec, fake_job);
+  const auto rows = store.aggregate("seed");
+  ASSERT_EQ(rows.size(), 6u);  // 3 schemes x 2 loads
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.replicas, 2u);
+    ASSERT_TRUE(row.metrics.contains("fct_ms"));
+    const auto& m = row.metrics.at("fct_ms");
+    EXPECT_EQ(m.n, 2u);
+    // seeds 1 and 2 contribute bias + 1/8 and bias + 2/8.
+    EXPECT_NEAR(m.max - m.min, 0.125, 1e-12);
+    EXPECT_NEAR(m.mean, (m.min + m.max) / 2.0, 1e-12);
+  }
+  // Aggregating on an axis the spec lacks yields one row per job.
+  EXPECT_EQ(store.aggregate("not_an_axis").size(), 12u);
+}
+
+// ------------------------------------------------------- emission --
+
+TEST(ResultStore, CsvHasOneRowPerJobWithErrorsFlattened) {
+  SweepSpec spec;
+  spec.axes = {Axis::labels("scheme", {"A", "B"})};
+  const auto job = [](const JobPoint& p) -> std::map<std::string, double> {
+    if (p.label("scheme") == "B") throw std::runtime_error("boom, with\ncomma");
+    return {{"v", 1.5}};
+  };
+  const auto store = SweepRunner(RunnerOptions{.jobs = 1}).run("csv", spec, job);
+  const std::string path = testing::TempDir() + "sweep_rows.csv";
+  ASSERT_TRUE(store.write_csv(path));
+  std::ifstream in(path);
+  std::string header, row_a, row_b;
+  std::getline(in, header);
+  std::getline(in, row_a);
+  std::getline(in, row_b);
+  EXPECT_EQ(header, "job_id,scheme,v,ok,error");
+  EXPECT_EQ(row_a, "0,A,1.5,1,");
+  EXPECT_EQ(row_b, "1,B,,0,boom; with comma");
+}
+
+TEST(JsonWriter, EscapesAndFormatsDeterministically) {
+  sweep::JsonWriter json;
+  json.begin_object();
+  json.key("s");
+  json.value("a\"b\\c\nd");
+  json.key("i");
+  json.value(3.0);
+  json.key("d");
+  json.value(0.125);
+  json.key("arr");
+  json.begin_array();
+  json.value(1);
+  json.value(true);
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.take(), "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":3,\"d\":0.125,\"arr\":[1,true]}");
+}
+
+}  // namespace
+}  // namespace dynaq

@@ -16,6 +16,10 @@
 #      (scheme_name + parse_scheme) and covered by Scheme.NamesRoundTrip in
 #      tests/core_test.cpp.
 #   6. Every header is include-guarded with #pragma once.
+#   7. Threads live only in src/sweep (dynaq::sweep, the experiment-sweep
+#      worker pool, DESIGN.md §7): simulators are single-threaded by design,
+#      so no other src/ directory may use std::thread/mutex/atomic — a sweep
+#      job parallelizes whole simulator instances, never their internals.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -76,6 +80,14 @@ for e in $enumerators; do
       "SchemeKind::$e lacks Scheme.NamesRoundTrip coverage in tests/core_test.cpp"
   fi
 done
+
+# -- 7. threading primitives confined to src/sweep --------------------------
+hits=$(grep -rnE 'std::(thread|jthread|mutex|atomic|condition_variable|future|async)\b' src/ \
+  | grep -v '^src/sweep/' | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "threads-only-in-sweep" \
+    "only src/sweep (dynaq::sweep worker pool) may use threading primitives:" "$hits"
+fi
 
 # -- 6. pragma once in headers ----------------------------------------------
 for f in src/*/*.hpp bench/*.hpp; do

@@ -6,6 +6,7 @@
 // number (see DESIGN.md §7).
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <map>
 
@@ -26,19 +27,28 @@ struct FctSweepConfig {
 using FctResults =
     std::map<core::SchemeKind, std::map<double, stats::FctSummary>>;
 
-// Scalar metrics of one dynamic-star run, as stored per sweep job.
+// Scalar metrics of one dynamic-star run, as stored per sweep job. The
+// drop-reason breakdown and exchange count come from the run's telemetry
+// summary (whole-fabric, so drops_* can exceed the bottleneck-only "drops").
 inline std::map<std::string, double> fct_metrics(const harness::DynamicExperimentResult& r) {
   const auto s = r.fcts.summarize();
-  return {{"avg_overall_ms", s.avg_overall_ms},
-          {"avg_small_ms", s.avg_small_ms},
-          {"avg_medium_ms", s.avg_medium_ms},
-          {"avg_large_ms", s.avg_large_ms},
-          {"p99_small_ms", s.p99_small_ms},
-          {"p99_overall_ms", s.p99_overall_ms},
-          {"flows", static_cast<double>(s.count)},
-          {"incomplete", static_cast<double>(r.incomplete)},
-          {"drops", static_cast<double>(r.drops)},
-          {"marks", static_cast<double>(r.marks)}};
+  std::map<std::string, double> m = {{"avg_overall_ms", s.avg_overall_ms},
+                                     {"avg_small_ms", s.avg_small_ms},
+                                     {"avg_medium_ms", s.avg_medium_ms},
+                                     {"avg_large_ms", s.avg_large_ms},
+                                     {"p99_small_ms", s.p99_small_ms},
+                                     {"p99_overall_ms", s.p99_overall_ms},
+                                     {"flows", static_cast<double>(s.count)},
+                                     {"incomplete", static_cast<double>(r.incomplete)},
+                                     {"drops", static_cast<double>(r.drops)},
+                                     {"marks", static_cast<double>(r.marks)}};
+  for (std::size_t i = 0; i < telemetry::kNumDropReasons; ++i) {
+    const auto reason = static_cast<telemetry::DropReason>(i);
+    m["drops_" + std::string(telemetry::drop_reason_name(reason))] =
+        static_cast<double>(r.telemetry.drops(reason));
+  }
+  m["threshold_exchanges"] = static_cast<double>(r.telemetry.threshold_exchanges);
+  return m;
 }
 
 // Folds the (scheme, load) aggregates (seed-mean of every metric) back into
@@ -74,8 +84,8 @@ inline FctResults fct_results_from_store(const sweep::ResultStore& store) {
 
 // One grid point of the Fig. 8/9 scenario. Constructs a fresh simulator and
 // star topology from the point alone (required by the sweep contract).
-inline std::map<std::string, double> run_fct_job(const FctSweepConfig& sweep,
-                                                 const sweep::JobPoint& point) {
+inline sweep::JobResult run_fct_job(const FctSweepConfig& sweep,
+                                    const sweep::JobPoint& point) {
   const auto kind = core::parse_scheme(point.label("scheme"));
   harness::DynamicStarConfig cfg;
   cfg.star = testbed_star(kind, /*num_hosts=*/5, {1, 1, 1, 1, 1});
@@ -90,7 +100,8 @@ inline std::map<std::string, double> run_fct_job(const FctSweepConfig& sweep,
   cfg.pias_threshold_bytes = 100'000;
   cfg.first_service_queue = 1;
   cfg.seed = static_cast<std::uint64_t>(point.number("seed"));
-  return fct_metrics(harness::run_dynamic_star_experiment(cfg));
+  auto r = harness::run_dynamic_star_experiment(cfg);
+  return sweep::JobResult{fct_metrics(r), std::move(r.telemetry)};
 }
 
 // Runs the whole grid through the sweep engine (--jobs/--strict/--json...,
@@ -144,6 +155,44 @@ inline void print_fct_metric(const FctResults& results, core::SchemeKind referen
       }
     }
     t.row(std::move(row));
+  }
+  t.print();
+  std::puts("");
+}
+
+// Per-(scheme, load) drop-reason breakdown from the per-job telemetry
+// summaries (seed-summed): where each scheme loses packets — Algorithm 1's
+// victim protection vs. plain threshold vs. physical port/NIC overflow.
+inline void print_drop_breakdown(const sweep::ResultStore& store) {
+  struct Cell {
+    std::array<std::uint64_t, telemetry::kNumDropReasons> drops{};
+    std::uint64_t exchanges = 0;
+  };
+  std::map<std::string, std::map<double, Cell>> cells;
+  for (const auto& o : store.outcomes()) {
+    if (!o.ok || !o.telemetry) continue;
+    Cell& c = cells[o.point.label("scheme")][o.point.number("load")];
+    for (std::size_t i = 0; i < telemetry::kNumDropReasons; ++i) {
+      c.drops[i] += o.telemetry->drops_by_reason[i];
+    }
+    c.exchanges += o.telemetry->threshold_exchanges;
+  }
+  if (cells.empty()) return;
+  std::puts("Drop reasons (telemetry, summed over seeds)");
+  harness::Table t({"scheme", "load", "threshold", "victim_unsat", "victim_small", "port_full",
+                    "nic_full", "injected", "exchanges"});
+  const auto count = [](std::uint64_t n) { return std::to_string(n); };
+  for (const auto& [scheme, by_load] : cells) {
+    for (const auto& [load, c] : by_load) {
+      t.row({scheme, fmt(load * 100, 0) + "%",
+             count(c.drops[static_cast<std::size_t>(telemetry::DropReason::kThreshold)]),
+             count(c.drops[static_cast<std::size_t>(telemetry::DropReason::kVictimUnsatisfied)]),
+             count(c.drops[static_cast<std::size_t>(telemetry::DropReason::kVictimTooSmall)]),
+             count(c.drops[static_cast<std::size_t>(telemetry::DropReason::kPortFull)]),
+             count(c.drops[static_cast<std::size_t>(telemetry::DropReason::kNicFull)]),
+             count(c.drops[static_cast<std::size_t>(telemetry::DropReason::kInjected)]),
+             count(c.exchanges)});
+    }
   }
   t.print();
   std::puts("");

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   const auto duration = seconds(cli.integer("seconds", 10));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
   const auto csv_dir = cli.text("csv", "");
+  const auto jsonl_dir = cli.text("jsonl", "");
 
   std::puts("Figure 3 — throughput convergence of 2 active DRR queues, equal weights");
   std::puts("(queue1: 2 flows, queue2: 16 flows; 4 DRR queues configured)\n");
@@ -53,8 +54,24 @@ int main(int argc, char** argv) {
     }
     t.print();
     const auto last = r.meter.num_windows();
-    std::printf("mean after warmup: q1=%.3f q2=%.3f (ideal 0.5/0.5)\n\n",
+    std::printf("mean after warmup: q1=%.3f q2=%.3f (ideal 0.5/0.5)\n",
                 r.meter.mean_gbps(0, 2, last), r.meter.mean_gbps(1, 2, last));
+    std::printf("telemetry: %llu threshold exchanges, %llu drops (%llu policy, %llu nic)\n\n",
+                static_cast<unsigned long long>(r.telemetry.threshold_exchanges),
+                static_cast<unsigned long long>(r.telemetry.total_drops()),
+                static_cast<unsigned long long>(
+                    r.telemetry.drops(telemetry::DropReason::kThreshold) +
+                    r.telemetry.drops(telemetry::DropReason::kVictimUnsatisfied) +
+                    r.telemetry.drops(telemetry::DropReason::kVictimTooSmall)),
+                static_cast<unsigned long long>(
+                    r.telemetry.drops(telemetry::DropReason::kNicFull)));
+    if (!jsonl_dir.empty()) {
+      const auto path =
+          jsonl_dir + "/fig03_" + std::string(core::scheme_name(kind)) + ".events.jsonl";
+      if (telemetry::write_events_jsonl(path, r.telemetry_events, r.telemetry_ports)) {
+        std::printf("wrote %s (%zu events)\n\n", path.c_str(), r.telemetry_events.size());
+      }
+    }
   }
   std::puts("paper shape: DynaQ converges to an even split; BestEffort skews to queue2;");
   std::puts("PQL is fairer than BestEffort but still uneven");

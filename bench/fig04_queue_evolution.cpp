@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   const harness::Cli cli(argc, argv);
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
   const auto samples = static_cast<std::size_t>(cli.integer("samples", 1000));
+  const auto jsonl_dir = cli.text("jsonl", "");
 
   std::puts("Figure 4 — queue length evolution of 2 active DRR queues (equal weights)");
   std::puts("(1K sequential per-enqueue/dequeue samples after warmup)\n");
@@ -53,8 +54,19 @@ int main(int argc, char** argv) {
       t.row({"mean drop threshold", bench::fmt(stats::mean(t1), 1),
              bench::fmt(stats::mean(t2), 1)});
     }
+    if (r.telemetry.queue_delay.size() >= 2) {
+      t.row({"p99 queueing delay us", bench::fmt(r.telemetry.queue_delay[0].p99_us, 1),
+             bench::fmt(r.telemetry.queue_delay[1].p99_us, 1)});
+    }
     t.print();
     std::puts("");
+    if (!jsonl_dir.empty()) {
+      const auto path =
+          jsonl_dir + "/fig04_" + std::string(core::scheme_name(kind)) + ".events.jsonl";
+      if (telemetry::write_events_jsonl(path, r.telemetry_events, r.telemetry_ports)) {
+        std::printf("wrote %s (%zu events)\n\n", path.c_str(), r.telemetry_events.size());
+      }
+    }
   }
   std::puts("paper shape: BestEffort lets queue2 dominate the buffer; PQL caps each queue");
   std::puts("at its 21.25KB reservation; DynaQ's thresholds move so both queues hold");

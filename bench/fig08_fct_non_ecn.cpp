@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   bench::print_fct_metric(results, core::SchemeKind::kDynaQ, sweep.loads,
                           "(d) average FCT, large flows (>10MB)",
                           &stats::FctSummary::avg_large_ms);
+  bench::print_drop_breakdown(run.store);
 
   std::puts("paper shape: DynaQ ~ BestEffort overall (0.90x-1.02x); DynaQ beats PQL on");
   std::puts("large flows (up to 1.95x); DynaQ clearly best on small-flow avg and p99,");

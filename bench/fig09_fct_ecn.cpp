@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   bench::print_fct_metric(results, core::SchemeKind::kDynaQ, sweep.loads,
                           "(d) average FCT, large flows (>10MB)",
                           &stats::FctSummary::avg_large_ms);
+  bench::print_drop_breakdown(run.store);
 
   std::puts("paper shape: mixed overall results at 30-40% load (TCN up to 0.95x), DynaQ");
   std::puts("ahead elsewhere (1.28x-1.99x); for small flows DynaQ wins across loads,");

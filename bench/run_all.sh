@@ -4,10 +4,11 @@
 #   bench/run_all.sh [build-dir] [output-dir] [--full] [--jobs N]
 #
 # Text reports land in <output-dir>/<bench>.txt, machine-readable series in
-# <output-dir>/csv/, and sweep results (per-job records + seed aggregates,
-# DESIGN.md §7) in <output-dir>/json/. Pass --full for paper-scale
-# parameters; --jobs N fans the sweep-driven figures (8, 9, 12, 13) out
-# over N worker threads (default: all hardware threads).
+# <output-dir>/csv/, sweep results (per-job records + seed aggregates,
+# DESIGN.md §7) in <output-dir>/json/, and per-figure telemetry event dumps
+# (fig03/fig04, DESIGN.md §8) as <output-dir>/json/*.events.jsonl. Pass
+# --full for paper-scale parameters; --jobs N fans the sweep-driven figures
+# (8, 9, 12, 13) out over N worker threads (default: all hardware threads).
 set -euo pipefail
 
 BUILD_DIR="build"
@@ -43,11 +44,14 @@ run() {
   echo
 }
 
-for fig in fig01_motivation fig02_workloads fig04_queue_evolution \
+for fig in fig01_motivation fig02_workloads \
            fig05_fair_sharing fig06_weights fig07_protocols; do
   run "$BUILD_DIR/bench/$fig" $FULL_FLAG
 done
-for fig in fig03_convergence fig10_10g fig11_100g; do
+run "$BUILD_DIR/bench/fig04_queue_evolution" $FULL_FLAG --jsonl "$OUT_DIR/json"
+run "$BUILD_DIR/bench/fig03_convergence" $FULL_FLAG --csv "$OUT_DIR/csv" \
+    --jsonl "$OUT_DIR/json"
+for fig in fig10_10g fig11_100g; do
   run "$BUILD_DIR/bench/$fig" $FULL_FLAG --csv "$OUT_DIR/csv"
 done
 run "$BUILD_DIR/bench/fig12_many_flows" $FULL_FLAG --csv "$OUT_DIR/csv" \
@@ -65,5 +69,6 @@ done
 
 run "$BUILD_DIR/bench/micro_dynaq_ops"
 run "$BUILD_DIR/bench/micro_simulator"
+run "$BUILD_DIR/bench/micro_telemetry"
 
 echo "all reports in $OUT_DIR/"

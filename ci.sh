@@ -34,6 +34,10 @@ cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci -j "$jobs" --output-on-failure
 echo "==> [1/3] smoke sweep -> BENCH_sweep.json"
 smoke_sweep build-ci --bench-json BENCH_sweep.json
+echo "==> [1/3] telemetry fast-path budget (micro_telemetry)"
+# Disabled-hub overhead must stay a single guarded branch (DESIGN.md §8);
+# the budget is generous vs. the ~1ns branch cost to keep CI noise-proof.
+build-ci/bench/micro_telemetry --ops=300000 --reps=3 --assert-budget-ns=25
 
 if [[ $skip_asan -eq 0 ]]; then
   echo "==> [2/3] ASan+UBSan ctest"

@@ -122,6 +122,8 @@ class AuditedBufferPolicy final : public net::BufferPolicy {
   std::vector<std::int64_t> thresholds() const override { return inner_->thresholds(); }
   bool conserves_threshold_sum() const override { return inner_->conserves_threshold_sum(); }
   bool enforces_thresholds() const override { return inner_->enforces_thresholds(); }
+  telemetry::DropReason last_drop_reason() const override { return inner_->last_drop_reason(); }
+  int last_exchange_victim() const override { return inner_->last_exchange_victim(); }
   std::string_view name() const override { return inner_->name(); }
 
   net::BufferPolicy& inner() { return *inner_; }

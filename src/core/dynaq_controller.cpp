@@ -117,6 +117,7 @@ Verdict DynaQController::on_arrival(std::span<const std::int64_t> queue_bytes, i
   assert(p >= 0 && p < num_queues());
   assert(size > 0);
   last_p_ = -1;  // only the exchange made by *this* arrival may be undone
+  last_drop_cause_ = DropCause::kNone;
 
   auto& t_p = thresholds_[static_cast<std::size_t>(p)];
 
@@ -125,7 +126,10 @@ Verdict DynaQController::on_arrival(std::span<const std::int64_t> queue_bytes, i
 
   // Line 2: victim selection.
   const int v = config_.loop_free_search ? find_victim_tournament(p) : find_victim_linear(p);
-  if (v < 0) return Verdict::kDrop;  // single-queue port: no buffer to borrow
+  if (v < 0) {
+    last_drop_cause_ = DropCause::kThreshold;  // single-queue port: no buffer to borrow
+    return Verdict::kDrop;
+  }
 
   auto& t_v = thresholds_[static_cast<std::size_t>(v)];
   const std::int64_t s_v = satisfaction_[static_cast<std::size_t>(v)];
@@ -133,7 +137,14 @@ Verdict DynaQController::on_arrival(std::span<const std::int64_t> queue_bytes, i
 
   // Line 3: drop to keep T_v >= 0, and to protect unsatisfied *active*
   // queues (inactive queues may be raided for work conservation).
-  if (t_v < size || (q_v > 0 && t_v - size < s_v)) return Verdict::kDrop;
+  if (t_v < size) {
+    last_drop_cause_ = DropCause::kVictimTooSmall;
+    return Verdict::kDrop;
+  }
+  if (q_v > 0 && t_v - size < s_v) {
+    last_drop_cause_ = DropCause::kVictimUnsatisfied;
+    return Verdict::kDrop;
+  }
 
   // Lines 6-7: exchange exactly size(P); decrease before increase keeps
   // ΣT = B at every instant.
@@ -149,6 +160,7 @@ Verdict DynaQController::on_arrival(std::span<const std::int64_t> queue_bytes, i
     t_p -= size;
     t_v += size;
     last_p_ = -1;
+    last_drop_cause_ = DropCause::kThreshold;
     return Verdict::kDrop;
   }
   return Verdict::kAdjusted;

@@ -60,6 +60,17 @@ enum class Verdict {
   kDrop,      // victim protection triggered (line 4), or strict-mode recheck
 };
 
+// Why the most recent on_arrival() returned kDrop — the drop taxonomy the
+// telemetry layer reports. kThreshold covers the cases where no usable
+// exchange exists at all (no victim queue, or the strict-mode recheck
+// rejected the packet even after borrowing).
+enum class DropCause {
+  kNone,                // last verdict was not kDrop
+  kThreshold,           // no victim / strict recheck: arrival exceeds T_p
+  kVictimTooSmall,      // line 3a: T_v < size, victim cannot give that much
+  kVictimUnsatisfied,   // line 3b: active victim would dip below S_v
+};
+
 class DynaQController {
  public:
   explicit DynaQController(DynaQConfig config);
@@ -88,6 +99,12 @@ class DynaQController {
   // Queue i is satisfied iff T_i >= S_i (footnote 1 of the paper).
   bool satisfied(int i) const { return threshold(i) >= satisfaction(i); }
 
+  // Introspection for the telemetry layer: why the most recent on_arrival()
+  // dropped, and which queue the most recent (not yet undone) exchange
+  // borrowed from (-1 when the last arrival made no exchange).
+  DropCause last_drop_cause() const { return last_drop_cause_; }
+  int last_victim() const { return last_p_ >= 0 ? last_v_ : -1; }
+
   // ΣT_i; equals buffer_bytes() at all times (checked by tests).
   std::int64_t threshold_sum() const;
 
@@ -111,6 +128,7 @@ class DynaQController {
   int last_p_ = -1;
   int last_v_ = -1;
   std::int32_t last_size_ = 0;
+  DropCause last_drop_cause_ = DropCause::kNone;
 };
 
 }  // namespace dynaq::core

@@ -57,13 +57,27 @@ bool DynaQPolicy::admit(const net::MqState& state, int q, const net::Packet& p) 
     for (int i = 0; i < m; ++i) occupancy[i] = state.queue(i).bytes;
   }
 
+  last_exchange_victim_ = -1;
   switch (controller_->on_arrival({occupancy, static_cast<std::size_t>(m)}, q, p.size)) {
     case Verdict::kAdmit:
       return true;
     case Verdict::kAdjusted:
       ++adjustments_;
+      last_exchange_victim_ = controller_->last_victim();
       return true;
     case Verdict::kDrop:
+      switch (controller_->last_drop_cause()) {
+        case DropCause::kVictimTooSmall:
+          last_drop_reason_ = telemetry::DropReason::kVictimTooSmall;
+          break;
+        case DropCause::kVictimUnsatisfied:
+          last_drop_reason_ = telemetry::DropReason::kVictimUnsatisfied;
+          break;
+        case DropCause::kNone:
+        case DropCause::kThreshold:
+          last_drop_reason_ = telemetry::DropReason::kThreshold;
+          break;
+      }
       return false;
   }
   return false;
@@ -81,6 +95,7 @@ void DynaQPolicy::on_admit_aborted(const net::MqState& state, int q, const net::
   // The port's physical bound rejected the packet after we exchanged
   // thresholds for it; give the buffer back to the victim.
   controller_->undo_last_exchange();
+  last_exchange_victim_ = -1;
 }
 
 std::vector<std::int64_t> DynaQPolicy::thresholds() const {

@@ -99,6 +99,10 @@ class DynaQPolicy : public net::BufferPolicy {
   bool enforces_thresholds() const override {
     return options_.strict && !options_.stale_queue_info;
   }
+  // Telemetry: Algorithm 1's drop causes map one-to-one onto the event
+  // taxonomy (DESIGN.md §8); exchanges surface as the borrowed-from queue.
+  telemetry::DropReason last_drop_reason() const override { return last_drop_reason_; }
+  int last_exchange_victim() const override { return last_exchange_victim_; }
   std::string_view name() const override { return "dynaq"; }
 
   const DynaQController& controller() const { return *controller_; }
@@ -110,6 +114,8 @@ class DynaQPolicy : public net::BufferPolicy {
   std::unique_ptr<DynaQController> controller_;
   std::uint64_t adjustments_ = 0;
   std::vector<std::int64_t> stale_qlen_;  // last deq_qdepth per queue (TNA mode)
+  telemetry::DropReason last_drop_reason_ = telemetry::DropReason::kThreshold;
+  int last_exchange_victim_ = -1;
 };
 
 // DynaQ with packet eviction (extension; the BarberQ idea from the paper's

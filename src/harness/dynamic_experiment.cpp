@@ -46,6 +46,16 @@ DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& con
   DynamicExperimentResult result;
   std::size_t outstanding = config.num_flows;
 
+  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry,
+                           .ring_capacity = config.telemetry_ring});
+  if (hub.enabled()) {
+    topo.port_qdisc(config.client_host)
+        .attach_telemetry(hub, "sw.p" + std::to_string(config.client_host));
+    for (int i = 0; i < topo.num_hosts(); ++i) {
+      topo.host(i).nic().attach_telemetry(hub, "h" + std::to_string(i) + ".nic");
+    }
+  }
+
   const double rate = workload::arrival_rate_for_load(
       config.load, config.star.link_rate_bps, config.dist->mean_bytes());
   const int dedicated = num_queues - config.first_service_queue;
@@ -84,6 +94,11 @@ DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& con
   result.drops = topo.port_qdisc(config.client_host).stats().dropped;
   result.marks = topo.port_qdisc(config.client_host).stats().marked;
   result.bottleneck = topo.port_qdisc(config.client_host).stats();
+  if (hub.enabled()) {
+    result.telemetry = hub.summary();
+    result.telemetry_events = hub.ring_events();
+    result.telemetry_ports = hub.port_names();
+  }
   return result;
 }
 
@@ -108,6 +123,18 @@ DynamicExperimentResult run_dynamic_leaf_spine_experiment(
 
   DynamicExperimentResult result;
   std::size_t outstanding = config.num_flows;
+
+  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry,
+                           .ring_capacity = config.telemetry_ring});
+  if (hub.enabled()) {
+    const auto& qdiscs = topo.all_qdiscs();
+    for (std::size_t i = 0; i < qdiscs.size(); ++i) {
+      qdiscs[i]->attach_telemetry(hub, "sw.p" + std::to_string(i));
+    }
+    for (int i = 0; i < num_hosts; ++i) {
+      topo.host(i).nic().attach_telemetry(hub, "h" + std::to_string(i) + ".nic");
+    }
+  }
 
   // Per-service flow-size distributions, cycling through the four
   // production workloads (paper: "Different services use different traffic
@@ -160,6 +187,11 @@ DynamicExperimentResult run_dynamic_leaf_spine_experiment(
   for (const net::MultiQueueQdisc* q : topo.all_qdiscs()) {
     result.drops += q->stats().dropped;
     result.marks += q->stats().marked;
+  }
+  if (hub.enabled()) {
+    result.telemetry = hub.summary();
+    result.telemetry_events = hub.ring_events();
+    result.telemetry_ports = hub.port_names();
   }
   return result;
 }

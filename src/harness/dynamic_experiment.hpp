@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "stats/fct_recorder.hpp"
+#include "telemetry/hub.hpp"
 #include "topo/leaf_spine.hpp"
 #include "topo/star.hpp"
 #include "transport/flow.hpp"
@@ -42,6 +44,9 @@ struct DynamicStarConfig {
   // Audit every port's buffer policy against the contract (DESIGN.md §6);
   // see StaticExperimentConfig::audit_invariants.
   bool audit_invariants = true;
+  // Telemetry hub attachment (DESIGN.md §8); see StaticExperimentConfig.
+  bool collect_telemetry = true;
+  std::size_t telemetry_ring = 4096;
 };
 
 struct DynamicExperimentResult {
@@ -51,6 +56,9 @@ struct DynamicExperimentResult {
   std::uint64_t drops = 0;   // at measured bottleneck qdisc(s)
   std::uint64_t marks = 0;
   net::MqStats bottleneck;   // star: the client downlink port (leaf-spine: unset)
+  telemetry::TelemetrySummary telemetry;           // empty when collection is off
+  std::vector<telemetry::Event> telemetry_events;  // tail of the event ring
+  std::vector<std::string> telemetry_ports;        // observation-point names
 };
 
 DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& config);
@@ -74,6 +82,8 @@ struct DynamicLeafSpineConfig {
   std::uint64_t seed = 1;
   Time max_sim_time = seconds(std::int64_t{3600});
   bool audit_invariants = true;  // see DynamicStarConfig
+  bool collect_telemetry = true;  // see DynamicStarConfig
+  std::size_t telemetry_ring = 4096;
 };
 
 DynamicExperimentResult run_dynamic_leaf_spine_experiment(const DynamicLeafSpineConfig& config);

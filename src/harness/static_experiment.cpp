@@ -17,21 +17,25 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
 
   const int num_queues = static_cast<int>(config.star.queue_weights.size());
   StaticExperimentResult result{
-      stats::ThroughputMeter(num_queues, config.meter_window), {}, {}, 0};
+      stats::ThroughputMeter(num_queues, config.meter_window), {}, {}, {}, 0, {}, {}, {}};
 
   net::MultiQueueQdisc& bottleneck = topo.port_qdisc(config.receiver_host);
   bottleneck.on_dequeue_hook = [&result](int q, const net::Packet& p, Time now) {
     if (!p.is_ack()) result.meter.record(q, p.size, now);
   };
 
-  stats::QueueLengthSampler sampler(config.queue_samples, config.queue_sample_skip);
+  // One hub per simulator (DESIGN.md §8): the bottleneck switch port and
+  // every host NIC report into it; queue_samples ride the hub's series.
+  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry || config.queue_samples > 0,
+                           .ring_capacity = config.telemetry_ring});
+  if (hub.enabled()) {
+    bottleneck.attach_telemetry(hub, "sw.p" + std::to_string(config.receiver_host));
+    for (int i = 0; i < topo.num_hosts(); ++i) {
+      topo.host(i).nic().attach_telemetry(hub, "h" + std::to_string(i) + ".nic");
+    }
+  }
   if (config.queue_samples > 0) {
-    bottleneck.on_op_hook = [&sampler, &bottleneck](const net::MqState& state, Time now) {
-      std::vector<std::int64_t> occupancy;
-      occupancy.reserve(state.queues.size());
-      for (const net::ServiceQueue& q : state.queues) occupancy.push_back(q.bytes);
-      sampler.record(now, std::move(occupancy), bottleneck.policy().thresholds());
-    };
+    hub.enable_queue_sampling(config.queue_samples, config.queue_sample_skip);
   }
 
   std::uint32_t next_flow_id = 1;
@@ -76,9 +80,14 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
     result.sender_totals.timeouts += s->stats().timeouts;
     result.sender_totals.bytes_sent += s->stats().bytes_sent;
   }
-  result.queue_samples = sampler.samples();
+  result.queue_samples = hub.queue_samples();
   result.bottleneck_stats = bottleneck.stats();
   result.events = sim.events_processed();
+  if (hub.enabled()) {
+    result.telemetry = hub.summary();
+    result.telemetry_events = hub.ring_events();
+    result.telemetry_ports = hub.port_names();
+  }
   return result;
 }
 

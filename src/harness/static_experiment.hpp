@@ -7,9 +7,12 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "net/multi_queue_qdisc.hpp"
 #include "stats/queue_sampler.hpp"
 #include "stats/throughput_meter.hpp"
+#include "telemetry/hub.hpp"
 #include "topo/star.hpp"
 #include "transport/flow.hpp"
 #include "transport/flow_sender.hpp"
@@ -50,6 +53,11 @@ struct StaticExperimentConfig {
   // by default so the whole test suite runs audited; disable for
   // paper-scale perf runs.
   bool audit_invariants = true;
+  // Attach a telemetry::Hub (DESIGN.md §8) to the bottleneck port and every
+  // host NIC: typed events, drop reasons, per-queue queueing-delay
+  // histograms, and the queue_samples time series all flow through it.
+  bool collect_telemetry = true;
+  std::size_t telemetry_ring = 4096;  // newest events kept in the result
 };
 
 struct StaticExperimentResult {
@@ -58,6 +66,9 @@ struct StaticExperimentResult {
   net::MqStats bottleneck_stats;
   transport::SenderStats sender_totals;  // summed over all flows
   std::uint64_t events = 0;
+  telemetry::TelemetrySummary telemetry;         // empty when collection is off
+  std::vector<telemetry::Event> telemetry_events;  // tail of the event ring
+  std::vector<std::string> telemetry_ports;        // observation-point names
 };
 
 StaticExperimentResult run_static_experiment(const StaticExperimentConfig& config);

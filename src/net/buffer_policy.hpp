@@ -9,6 +9,7 @@
 
 #include "net/mq_state.hpp"
 #include "net/packet.hpp"
+#include "telemetry/events.hpp"
 
 namespace dynaq::net {
 
@@ -73,6 +74,18 @@ class BufferPolicy {
   // on_admit_aborted() for packets that were admitted.
   virtual bool conserves_threshold_sum() const { return false; }
   virtual bool enforces_thresholds() const { return false; }
+
+  // Telemetry introspection (DESIGN.md §8), read by the qdisc right after
+  // admit() to classify the event it emits. last_drop_reason() explains the
+  // most recent admit() == false (default: the generic threshold/quota
+  // reason). last_exchange_victim() names the queue the most recent
+  // admit() == true borrowed threshold from, or -1 when no exchange
+  // happened; a subsequent on_admit_aborted() must reset it to -1 along
+  // with the rollback.
+  virtual telemetry::DropReason last_drop_reason() const {
+    return telemetry::DropReason::kThreshold;
+  }
+  virtual int last_exchange_victim() const { return -1; }
 
   virtual std::string_view name() const = 0;
 };

@@ -1,6 +1,8 @@
 // Fault-injection queue disciplines for tests and experiments: wrap any
 // link with deterministic or random loss without touching the component
-// under test.
+// under test. When attached to a telemetry hub, injected losses emit
+// Drop{reason: injected} events and bump the hub's "drops_injected" counter
+// so they stay distinguishable from policy drops in every summary.
 #pragma once
 
 #include <set>
@@ -9,6 +11,40 @@
 #include "sim/random.hpp"
 
 namespace dynaq::net {
+
+namespace detail {
+
+// Telemetry plumbing shared by the loss queues: the wrapper and its inner
+// DropTailQueue register under the same observation-point name, and every
+// injected loss is both counted (hub metrics registry, allocation-free
+// cached reference) and emitted on the event bus.
+class LossTelemetry {
+ public:
+  void attach(telemetry::Hub& hub, const std::string& name, QueueDisc& inner) {
+    hub_ = &hub;
+    tel_port_ = static_cast<std::int16_t>(hub.register_port(name));
+    counter_ = &hub.metrics().counter("drops_injected");
+    inner.attach_telemetry(hub, name);
+  }
+
+  void on_injected(const Packet& p) {
+    if (hub_ == nullptr || !hub_->enabled()) return;
+    counter_->add();
+    hub_->emit({.kind = telemetry::EventKind::kDrop,
+                .reason = telemetry::DropReason::kInjected,
+                .port = tel_port_,
+                .queue = static_cast<std::int16_t>(p.queue),
+                .bytes = p.size,
+                .flow = p.flow});
+  }
+
+ private:
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* counter_ = nullptr;
+  std::int16_t tel_port_ = -1;
+};
+
+}  // namespace detail
 
 // Drops the data packets whose arrival ordinals (0-based, ACKs excluded)
 // are listed — precise loss placement for retransmission-path tests.
@@ -21,6 +57,7 @@ class DeterministicLossQueue final : public QueueDisc {
   bool enqueue(Packet&& p) override {
     if (!p.is_ack() && drops_.erase(data_seen_++) > 0) {
       ++injected_;
+      telemetry_.on_injected(p);
       return false;
     }
     return inner_.enqueue(std::move(p));
@@ -28,6 +65,9 @@ class DeterministicLossQueue final : public QueueDisc {
   std::optional<Packet> dequeue() override { return inner_.dequeue(); }
   bool empty() const override { return inner_.empty(); }
   std::int64_t backlog_bytes() const override { return inner_.backlog_bytes(); }
+  void attach_telemetry(telemetry::Hub& hub, const std::string& name) override {
+    telemetry_.attach(hub, name, inner_);
+  }
   std::uint64_t injected_losses() const { return injected_; }
 
  private:
@@ -35,6 +75,7 @@ class DeterministicLossQueue final : public QueueDisc {
   std::uint64_t data_seen_ = 0;
   std::uint64_t injected_ = 0;
   DropTailQueue inner_;
+  detail::LossTelemetry telemetry_;
 };
 
 // Drops each data packet independently with probability `loss_rate` —
@@ -47,6 +88,7 @@ class BernoulliLossQueue final : public QueueDisc {
   bool enqueue(Packet&& p) override {
     if (!p.is_ack() && rng_.uniform() < loss_rate_) {
       ++injected_;
+      telemetry_.on_injected(p);
       return false;
     }
     return inner_.enqueue(std::move(p));
@@ -54,6 +96,9 @@ class BernoulliLossQueue final : public QueueDisc {
   std::optional<Packet> dequeue() override { return inner_.dequeue(); }
   bool empty() const override { return inner_.empty(); }
   std::int64_t backlog_bytes() const override { return inner_.backlog_bytes(); }
+  void attach_telemetry(telemetry::Hub& hub, const std::string& name) override {
+    telemetry_.attach(hub, name, inner_);
+  }
   std::uint64_t injected_losses() const { return injected_; }
 
  private:
@@ -61,6 +106,7 @@ class BernoulliLossQueue final : public QueueDisc {
   sim::Rng rng_;
   std::uint64_t injected_ = 0;
   DropTailQueue inner_;
+  detail::LossTelemetry telemetry_;
 };
 
 // Sets CE on every ECN-capable data packet — a fully congested marking hop
@@ -74,6 +120,9 @@ class CeMarkAllQueue final : public QueueDisc {
   std::optional<Packet> dequeue() override { return inner_.dequeue(); }
   bool empty() const override { return inner_.empty(); }
   std::int64_t backlog_bytes() const override { return inner_.backlog_bytes(); }
+  void attach_telemetry(telemetry::Hub& hub, const std::string& name) override {
+    inner_.attach_telemetry(hub, name);
+  }
 
  private:
   DropTailQueue inner_;

@@ -30,8 +30,33 @@ MultiQueueQdisc::MultiQueueQdisc(sim::Simulator& sim, std::vector<double> weight
   if (marker_) marker_->attach(state_);
 }
 
+void MultiQueueQdisc::attach_telemetry(telemetry::Hub& hub, const std::string& name) {
+  hub_ = &hub;
+  tel_port_ = static_cast<std::int16_t>(hub.register_port(name));
+}
+
+void MultiQueueQdisc::emit_packet_event(telemetry::Hub& hub, telemetry::EventKind kind,
+                                        int queue, const Packet& p,
+                                        telemetry::DropReason reason, int other_queue) const {
+  hub.emit({.kind = kind,
+            .reason = reason,
+            .port = tel_port_,
+            .queue = static_cast<std::int16_t>(queue),
+            .other_queue = static_cast<std::int16_t>(other_queue),
+            .bytes = p.size,
+            .flow = p.flow});
+}
+
+void MultiQueueQdisc::sample_queues(telemetry::Hub& hub) const {
+  std::vector<std::int64_t> occupancy;
+  occupancy.reserve(state_.queues.size());
+  for (const ServiceQueue& q : state_.queues) occupancy.push_back(q.bytes);
+  hub.sample(sim_.now(), occupancy, policy_->thresholds());
+}
+
 bool MultiQueueQdisc::enqueue(Packet&& p) {
   const int q = p.queue < state_.queues.size() ? p.queue : state_.num_queues() - 1;
+  telemetry::Hub* const tel_hub = tel();
 
   // The buffer-management policy decides admission (DynaQ adjusts its
   // thresholds inside admit()); the physical port-buffer bound — and the
@@ -57,6 +82,10 @@ bool MultiQueueQdisc::enqueue(Packet&& p) {
     if (pool_ != nullptr) pool_->release(evicted.size);
     ++stats_.evicted;
     policy_->on_dequeue(state_, victim, evicted);
+    if (tel_hub != nullptr) {
+      emit_packet_event(*tel_hub, telemetry::EventKind::kEvict, victim, evicted,
+                        telemetry::DropReason::kThreshold, q);
+    }
     if (on_drop_hook) on_drop_hook(victim, evicted, sim_.now());
     fits = state_.port_bytes + p.size <= state_.buffer_bytes &&
            (pool_ == nullptr || pool_->free_bytes() >= p.size);
@@ -72,6 +101,12 @@ bool MultiQueueQdisc::enqueue(Packet&& p) {
       ++stats_.dropped_port_full;
       ++stats_.dropped_port_full_per_queue[static_cast<std::size_t>(q)];
     }
+    if (tel_hub != nullptr) {
+      emit_packet_event(*tel_hub, telemetry::EventKind::kDrop, q, p,
+                        policy_ok ? telemetry::DropReason::kPortFull
+                                  : policy_->last_drop_reason());
+      if (tel_hub->sampling_active()) sample_queues(*tel_hub);
+    }
     if (on_drop_hook) on_drop_hook(q, p, sim_.now());
     if (on_op_hook) on_op_hook(state_, sim_.now());
     return false;
@@ -80,6 +115,10 @@ bool MultiQueueQdisc::enqueue(Packet&& p) {
   if (marker_ && p.has(kFlagEct) && marker_->mark_on_enqueue(state_, q, p)) {
     p.set(kFlagCe);
     ++stats_.marked;
+    if (tel_hub != nullptr) {
+      emit_packet_event(*tel_hub, telemetry::EventKind::kEcnMark, q, p,
+                        telemetry::DropReason::kThreshold);
+    }
   }
 
   p.enqueued_at = sim_.now();
@@ -90,8 +129,22 @@ bool MultiQueueQdisc::enqueue(Packet&& p) {
   sq.packets.push_back(std::move(p));
   ++stats_.enqueued;
   ++stats_.enqueued_per_queue[static_cast<std::size_t>(q)];
-  policy_->on_enqueue(state_, q, sq.packets.back());
+  const Packet& queued = sq.packets.back();
+  policy_->on_enqueue(state_, q, queued);
   scheduler_->on_enqueue(state_, q);
+  if (tel_hub != nullptr) {
+    // The exchange behind this admission (if any) is reported only once the
+    // packet actually entered the buffer — an aborted admission rolls the
+    // exchange back and resets the introspected victim to -1.
+    const int exchange_victim = policy_->last_exchange_victim();
+    if (exchange_victim >= 0) {
+      emit_packet_event(*tel_hub, telemetry::EventKind::kThresholdExchange, q, queued,
+                        telemetry::DropReason::kThreshold, exchange_victim);
+    }
+    emit_packet_event(*tel_hub, telemetry::EventKind::kEnqueue, q, queued,
+                      telemetry::DropReason::kThreshold);
+    if (tel_hub->sampling_active()) sample_queues(*tel_hub);
+  }
   if (on_op_hook) on_op_hook(state_, sim_.now());
   return true;
 }
@@ -115,12 +168,20 @@ std::optional<Packet> MultiQueueQdisc::dequeue() {
   state_.port_bytes -= p.size;
   if (pool_ != nullptr) pool_->release(p.size);
   policy_->on_dequeue(state_, q, p);
+  const Time sojourn = sim_.now() - p.enqueued_at;
   if (marker_ && p.has(kFlagEct)) {
-    const Time sojourn = sim_.now() - p.enqueued_at;
     if (marker_->mark_on_dequeue(state_, q, p, sojourn)) {
       p.set(kFlagCe);
       ++stats_.marked;
+      if (telemetry::Hub* const hub = tel(); hub != nullptr) {
+        emit_packet_event(*hub, telemetry::EventKind::kEcnMark, q, p,
+                          telemetry::DropReason::kThreshold);
+      }
     }
+  }
+  if (telemetry::Hub* const hub = tel(); hub != nullptr) {
+    hub->record_queue_delay(q, sojourn);
+    if (hub->sampling_active()) sample_queues(*hub);
   }
   if (on_dequeue_hook) on_dequeue_hook(q, p, sim_.now());
   if (on_op_hook) on_op_hook(state_, sim_.now());

@@ -63,13 +63,32 @@ class MultiQueueQdisc final : public QueueDisc {
   SchedulerPolicy& scheduler() { return *scheduler_; }
   const MqStats& stats() const { return stats_; }
 
+  // Registers this port's buffer on the telemetry hub (DESIGN.md §8):
+  // typed events (Enqueue/Drop{reason}/Evict/ThresholdExchange/EcnMark),
+  // per-queue queueing-delay histograms and — when the hub has sampling
+  // enabled — the occupancy/threshold time series. Costs one null-pointer
+  // test per operation until attached.
+  void attach_telemetry(telemetry::Hub& hub, const std::string& name) override;
+
   // Observability hooks (throughput meters, queue-length samplers). All are
-  // optional and invoked synchronously.
+  // optional and invoked synchronously. Measurement drivers (src/harness,
+  // bench, tests) may assign these; library code must subscribe through
+  // telemetry::Hub instead (tools/check_conventions.sh rule 8).
   std::function<void(int queue, const Packet&, Time now)> on_dequeue_hook;
   std::function<void(int queue, const Packet&, Time now)> on_drop_hook;
   std::function<void(const MqState&, Time now)> on_op_hook;  // after every enqueue/dequeue
 
  private:
+  // Hub attached and collecting: the single guarded branch of the disabled
+  // path (bench/micro_telemetry).
+  telemetry::Hub* tel() const {
+    return hub_ != nullptr && hub_->enabled() ? hub_ : nullptr;
+  }
+  void emit_packet_event(telemetry::Hub& hub, telemetry::EventKind kind, int queue,
+                         const Packet& p, telemetry::DropReason reason,
+                         int other_queue = -1) const;
+  void sample_queues(telemetry::Hub& hub) const;
+
   sim::Simulator& sim_;
   MqState state_;
   SharedMemoryPool* pool_ = nullptr;
@@ -77,6 +96,8 @@ class MultiQueueQdisc final : public QueueDisc {
   std::unique_ptr<SchedulerPolicy> scheduler_;
   std::unique_ptr<EcnMarker> marker_;
   MqStats stats_;
+  telemetry::Hub* hub_ = nullptr;
+  std::int16_t tel_port_ = -1;
 };
 
 }  // namespace dynaq::net

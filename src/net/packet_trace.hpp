@@ -1,6 +1,7 @@
-// Packet-level tracing: attach to ports and record transmit/deliver events
-// (optionally filtered by flow) for debugging and for verifying wire-level
-// behaviour in tests — the simulator's tcpdump.
+// Packet-level tracing: subscribe to the telemetry hub's wire-record feed
+// and record transmit/deliver events (optionally filtered by flow) for
+// debugging and for verifying wire-level behaviour in tests — the
+// simulator's tcpdump. Any number of tracers may observe the same hub.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +11,7 @@
 
 #include "net/packet.hpp"
 #include "net/port.hpp"
-#include "sim/simulator.hpp"
+#include "telemetry/hub.hpp"
 
 namespace dynaq::net {
 
@@ -29,17 +30,22 @@ struct TraceEvent {
 
 class PacketTracer {
  public:
-  explicit PacketTracer(sim::Simulator& sim) : sim_(sim) {}
+  // Subscribes to `hub`'s wire records. The tracer must outlive the hub's
+  // traffic; it sees every port attached to the hub (via attach() or
+  // directly through Port::attach_telemetry).
+  explicit PacketTracer(telemetry::Hub& hub) : hub_(hub) {
+    hub.add_wire_listener([this](const telemetry::WireRecord& w) { record(w); });
+  }
+
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
 
   // Restrict recording to one flow id (0 = record everything).
   void filter_flow(std::uint32_t flow) { flow_filter_ = flow; }
 
-  // Observes both directions of `port` under the given label. The tracer
-  // must outlive the port's traffic.
-  void attach(Port& port, std::string label) {
-    port.on_transmit_start = [this, label](const Packet& p) { record(p, label, true); };
-    port.on_deliver = [this, label](const Packet& p) { record(p, label, false); };
-  }
+  // Observes both directions of `port` under the given label — shorthand
+  // for port.attach_telemetry(hub, label).
+  void attach(Port& port, std::string label) { port.attach_telemetry(hub_, label); }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
@@ -55,13 +61,13 @@ class PacketTracer {
   }
 
  private:
-  void record(const Packet& p, const std::string& label, bool transmit) {
-    if (flow_filter_ != 0 && p.flow != flow_filter_) return;
-    events_.push_back(TraceEvent{sim_.now(), label, transmit, p.flow, p.seq, p.size, p.queue,
-                                 p.is_ack(), p.has(kFlagRetx), p.has(kFlagCe)});
+  void record(const telemetry::WireRecord& w) {
+    if (flow_filter_ != 0 && w.flow != flow_filter_) return;
+    events_.push_back(TraceEvent{w.when, std::string(hub_.port_name(w.port)), w.transmit,
+                                 w.flow, w.seq, w.size, w.queue, w.is_ack, w.retx, w.ce});
   }
 
-  sim::Simulator& sim_;
+  telemetry::Hub& hub_;
   std::uint32_t flow_filter_ = 0;
   std::vector<TraceEvent> events_;
 };

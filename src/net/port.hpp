@@ -48,25 +48,42 @@ class Port {
   std::int64_t bytes_sent() const { return bytes_sent_; }
   bool busy() const { return transmitting_; }
 
+  // Registers this port on the telemetry hub under `name`: wire records
+  // (transmit-start / deliver, consumed by PacketTracer) flow to the hub's
+  // wire listeners, and the queue discipline is registered under the same
+  // observation-point name. The hub must outlive the port.
+  void attach_telemetry(telemetry::Hub& hub, const std::string& name) {
+    hub_ = &hub;
+    tel_port_ = static_cast<std::int16_t>(hub.register_port(name));
+    qdisc_->attach_telemetry(hub, name);
+  }
+
   // Called by the peer's transmitter after the propagation delay.
   void deliver(Packet&& p) {
-    if (on_deliver) on_deliver(p);
+    if (hub_ != nullptr && hub_->wants_wire()) emit_wire(p, /*transmit=*/false);
     if (receiver_) receiver_(std::move(p));
   }
 
-  // Observability hooks (packet tracing); invoked synchronously with the
-  // packet still intact.
-  std::function<void(const Packet&)> on_transmit_start;
-  std::function<void(const Packet&)> on_deliver;
-
  private:
+  void emit_wire(const Packet& p, bool transmit) {
+    hub_->emit_wire({.port = tel_port_,
+                     .transmit = transmit,
+                     .is_ack = p.is_ack(),
+                     .retx = p.has(kFlagRetx),
+                     .ce = p.has(kFlagCe),
+                     .queue = p.queue,
+                     .size = p.size,
+                     .flow = p.flow,
+                     .seq = p.seq});
+  }
+
   void start_transmission() {
     auto next = qdisc_->dequeue();
     if (!next) return;
     transmitting_ = true;
     ++packets_sent_;
     bytes_sent_ += next->size;
-    if (on_transmit_start) on_transmit_start(*next);
+    if (hub_ != nullptr && hub_->wants_wire()) emit_wire(*next, /*transmit=*/true);
     const Time tx = transmission_time(next->size, rate_bps_);
     // Serialization completes at now+tx; the last bit reaches the peer one
     // propagation delay later.
@@ -91,6 +108,8 @@ class Port {
   bool transmitting_ = false;
   std::uint64_t packets_sent_ = 0;
   std::int64_t bytes_sent_ = 0;
+  telemetry::Hub* hub_ = nullptr;
+  std::int16_t tel_port_ = -1;
 };
 
 // Wires two ports into a full-duplex link.

@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "net/packet.hpp"
+#include "telemetry/hub.hpp"
 
 namespace dynaq::net {
 
@@ -21,6 +24,14 @@ class QueueDisc {
 
   virtual bool empty() const = 0;
   virtual std::int64_t backlog_bytes() const = 0;
+
+  // Registers this queue on the telemetry hub under `name` and starts
+  // emitting typed events (drops with a reason, enqueues, ...). The default
+  // is a no-op so un-instrumented disciplines cost nothing; the hub must
+  // outlive the queue.
+  virtual void attach_telemetry(telemetry::Hub& hub, const std::string& name) {
+    (void)hub, (void)name;
+  }
 };
 
 // Simple shared-FIFO tail-drop queue; used for end-host NICs where the
@@ -34,6 +45,14 @@ class DropTailQueue final : public QueueDisc {
   bool enqueue(Packet&& p) override {
     if (capacity_ > 0 && bytes_ + p.size > capacity_) {
       ++drops_;
+      if (hub_ != nullptr && hub_->enabled()) {
+        hub_->emit({.kind = telemetry::EventKind::kDrop,
+                    .reason = telemetry::DropReason::kNicFull,
+                    .port = tel_port_,
+                    .queue = static_cast<std::int16_t>(p.queue),
+                    .bytes = p.size,
+                    .flow = p.flow});
+      }
       return false;
     }
     bytes_ += p.size;
@@ -53,11 +72,18 @@ class DropTailQueue final : public QueueDisc {
   std::int64_t backlog_bytes() const override { return bytes_; }
   std::uint64_t drops() const { return drops_; }
 
+  void attach_telemetry(telemetry::Hub& hub, const std::string& name) override {
+    hub_ = &hub;
+    tel_port_ = static_cast<std::int16_t>(hub.register_port(name));
+  }
+
  private:
   std::int64_t capacity_;
   std::int64_t bytes_ = 0;
   std::uint64_t drops_ = 0;
   std::deque<Packet> q_;
+  telemetry::Hub* hub_ = nullptr;
+  std::int16_t tel_port_ = -1;
 };
 
 }  // namespace dynaq::net

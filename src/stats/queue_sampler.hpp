@@ -1,19 +1,20 @@
 // Per-operation queue length sampling (Fig. 1 / Fig. 4 of the paper record
 // 1K sequential per-enqueue/dequeue samples of every queue's occupancy).
+// The storage and cadence logic live in telemetry::QueueSeries (DESIGN.md
+// §8); this adapter keeps the original stats-layer type for callers that
+// sample by hand rather than through a telemetry::Hub.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/hub.hpp"
 
 namespace dynaq::stats {
 
-struct QueueLengthSample {
-  Time when = 0;
-  std::vector<std::int64_t> queue_bytes;     // occupancy per service queue
-  std::vector<std::int64_t> thresholds;      // drop threshold per queue (if any)
-};
+using QueueLengthSample = telemetry::QueueSample;
 
 class QueueLengthSampler {
  public:
@@ -21,23 +22,18 @@ class QueueLengthSampler {
   // most `capacity` of them, matching the paper's "1K sequential samples at
   // random time" methodology.
   explicit QueueLengthSampler(std::size_t capacity = 1000, std::size_t skip = 0)
-      : capacity_(capacity), skip_(skip) {}
+      : series_(capacity, skip) {}
 
   void record(Time when, std::vector<std::int64_t> queue_bytes,
               std::vector<std::int64_t> thresholds = {}) {
-    if (seen_++ < skip_) return;
-    if (samples_.size() >= capacity_) return;
-    samples_.push_back(QueueLengthSample{when, std::move(queue_bytes), std::move(thresholds)});
+    series_.record(when, std::move(queue_bytes), std::move(thresholds));
   }
 
-  bool full() const { return samples_.size() >= capacity_; }
-  const std::vector<QueueLengthSample>& samples() const { return samples_; }
+  bool full() const { return series_.full(); }
+  const std::vector<QueueLengthSample>& samples() const { return series_.samples(); }
 
  private:
-  std::size_t capacity_;
-  std::size_t skip_;
-  std::size_t seen_ = 0;
-  std::vector<QueueLengthSample> samples_;
+  telemetry::QueueSeries series_;
 };
 
 }  // namespace dynaq::stats

@@ -42,6 +42,47 @@ void write_point(JsonWriter& json,
   json.end_object();
 }
 
+void write_telemetry(JsonWriter& json, const telemetry::TelemetrySummary& t) {
+  json.begin_object();
+  json.key("drops");
+  json.begin_object();
+  for (std::size_t r = 0; r < telemetry::kNumDropReasons; ++r) {
+    json.key(std::string(telemetry::drop_reason_name(static_cast<telemetry::DropReason>(r))));
+    json.value(t.drops_by_reason[r]);
+  }
+  json.end_object();
+  json.key("enqueues");
+  json.value(t.enqueues);
+  json.key("evictions");
+  json.value(t.evictions);
+  json.key("threshold_exchanges");
+  json.value(t.threshold_exchanges);
+  json.key("exchanged_bytes");
+  json.value(t.exchanged_bytes);
+  json.key("ecn_marks");
+  json.value(t.ecn_marks);
+  json.key("queue_delay");
+  json.begin_array();
+  for (std::size_t q = 0; q < t.queue_delay.size(); ++q) {
+    const telemetry::QueueDelaySummary& d = t.queue_delay[q];
+    if (d.count == 0) continue;
+    json.begin_object();
+    json.key("queue");
+    json.value(q);
+    json.key("count");
+    json.value(d.count);
+    json.key("p50_us");
+    json.value(d.p50_us);
+    json.key("p99_us");
+    json.value(d.p99_us);
+    json.key("max_us");
+    json.value(d.max_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
 }  // namespace
 
 MetricAggregate aggregate_samples(std::vector<double> samples) {
@@ -103,7 +144,7 @@ std::string ResultStore::to_json(const JsonOptions& options,
   JsonWriter json;
   json.begin_object();
   json.key("schema_version");
-  json.value(1);
+  json.value(2);
   json.key("sweep");
   json.value(name_);
   json.key("mode");
@@ -143,6 +184,10 @@ std::string ResultStore::to_json(const JsonOptions& options,
         json.value(v);
       }
       json.end_object();
+      if (o.telemetry) {
+        json.key("telemetry");
+        write_telemetry(json, *o.telemetry);
+      }
     } else {
       json.key("timed_out");
       json.value(o.timed_out);

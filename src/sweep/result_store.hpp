@@ -8,16 +8,35 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sweep/sweep_spec.hpp"
+#include "telemetry/summary.hpp"
 
 namespace dynaq::sweep {
+
+// What a job function hands back: scalar metrics, plus (optionally) the
+// experiment's TelemetrySummary so the sweep JSON carries per-job drop
+// reasons and queueing-delay percentiles (schema_version 2, DESIGN.md §7).
+// Implicitly constructible from a bare metrics map so metrics-only job
+// functions keep working unchanged.
+struct JobResult {
+  std::map<std::string, double> metrics;
+  std::optional<telemetry::TelemetrySummary> telemetry;
+
+  JobResult() = default;
+  JobResult(std::map<std::string, double> m) : metrics(std::move(m)) {}
+  JobResult(std::map<std::string, double> m, telemetry::TelemetrySummary t)
+      : metrics(std::move(m)), telemetry(std::move(t)) {}
+};
 
 struct JobOutcome {
   JobPoint point;
   std::map<std::string, double> metrics;  // empty unless ok
+  std::optional<telemetry::TelemetrySummary> telemetry;  // when the job returned one
   bool ok = false;
   bool timed_out = false;
   int attempts = 0;

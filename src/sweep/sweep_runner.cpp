@@ -47,7 +47,7 @@ struct AttemptState {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
-  std::map<std::string, double> metrics;
+  JobResult result;
   bool ok = false;
   std::string error;
   double cpu_ms = 0.0;
@@ -55,11 +55,11 @@ struct AttemptState {
 
 void execute_attempt(const JobFn& fn, const JobPoint& point, AttemptState& state) {
   const double cpu0 = thread_cpu_ms();
-  std::map<std::string, double> metrics;
+  JobResult result;
   bool ok = false;
   std::string error;
   try {
-    metrics = fn(point);
+    result = fn(point);
     ok = true;
   } catch (const std::exception& e) {
     error = e.what();
@@ -68,7 +68,7 @@ void execute_attempt(const JobFn& fn, const JobPoint& point, AttemptState& state
   }
   {
     std::lock_guard<std::mutex> lock(state.mu);
-    state.metrics = std::move(metrics);
+    state.result = std::move(result);
     state.ok = ok;
     state.error = std::move(error);
     state.cpu_ms = thread_cpu_ms() - cpu0;
@@ -123,7 +123,8 @@ ResultStore SweepRunner::run(std::string sweep_name, const SweepSpec& spec,
     }
     out.timed_out = false;
     out.ok = state->ok;
-    out.metrics = std::move(state->metrics);
+    out.metrics = std::move(state->result.metrics);
+    out.telemetry = std::move(state->result.telemetry);
     out.error = std::move(state->error);
     out.cpu_ms = state->cpu_ms;
     out.wall_ms = elapsed_ms(t0);

@@ -21,9 +21,10 @@
 namespace dynaq::sweep {
 
 // A job maps its grid point to named scalar metrics ("avg_overall_ms",
-// "jain_min", ...). Metric names must not depend on the worker count; the
-// ordered map keeps JSON/CSV emission deterministic.
-using JobFn = std::function<std::map<std::string, double>(const JobPoint&)>;
+// "jain_min", ...) plus an optional TelemetrySummary (JobResult converts
+// implicitly from a bare metrics map). Metric names must not depend on the
+// worker count; the ordered map keeps JSON/CSV emission deterministic.
+using JobFn = std::function<JobResult(const JobPoint&)>;
 
 struct RunnerOptions {
   int jobs = 0;              // workers; <= 0 means hardware_concurrency

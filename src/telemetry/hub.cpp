@@ -1,0 +1,140 @@
+#include "telemetry/hub.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dynaq::telemetry {
+
+Hub::Hub(sim::Simulator& sim, HubConfig config)
+    : sim_(sim),
+      enabled_(config.enabled),
+      ring_(config.ring_capacity),
+      max_delay_queues_(config.max_delay_queues) {}
+
+int Hub::register_port(const std::string& name) {
+  for (std::size_t i = 0; i < port_names_.size(); ++i) {
+    if (port_names_[i] == name) return static_cast<int>(i);
+  }
+  port_names_.push_back(name);
+  return static_cast<int>(port_names_.size() - 1);
+}
+
+void Hub::emit(Event e) {
+  e.when = sim_.now();
+  switch (e.kind) {
+    case EventKind::kEnqueue:
+      ++enqueues_;
+      break;
+    case EventKind::kDrop:
+      ++drops_by_reason_[static_cast<std::size_t>(e.reason)];
+      break;
+    case EventKind::kEvict:
+      ++evictions_;
+      break;
+    case EventKind::kThresholdExchange:
+      ++threshold_exchanges_;
+      exchanged_bytes_ += e.bytes;
+      break;
+    case EventKind::kEcnMark:
+      ++ecn_marks_;
+      break;
+  }
+  if (!ring_.empty()) {
+    if (ring_count_ == ring_.size()) ++ring_overwritten_;
+    ring_[ring_head_] = e;
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    if (ring_count_ < ring_.size()) ++ring_count_;
+  }
+  for (const auto& fn : subscribers_) fn(e);
+}
+
+std::vector<Event> Hub::ring_events() const {
+  std::vector<Event> out;
+  out.reserve(ring_count_);
+  const std::size_t start = (ring_head_ + ring_.size() - ring_count_) % ring_.size();
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Hub::emit_wire(WireRecord w) {
+  w.when = sim_.now();
+  for (const auto& fn : wire_listeners_) fn(w);
+}
+
+void Hub::record_queue_delay(int queue, Time delay) {
+  const auto q = static_cast<std::size_t>(queue);
+  if (queue < 0 || q >= max_delay_queues_) return;
+  if (q >= delay_hist_.size()) delay_hist_.resize(q + 1);
+  delay_hist_[q].record(delay);
+}
+
+void Hub::sample(Time when, std::span<const std::int64_t> occupancy,
+                 std::vector<std::int64_t> thresholds) {
+  series_.record(when, {occupancy.begin(), occupancy.end()}, std::move(thresholds));
+}
+
+TelemetrySummary Hub::summary() const {
+  TelemetrySummary s;
+  s.drops_by_reason = drops_by_reason_;
+  s.enqueues = enqueues_;
+  s.evictions = evictions_;
+  s.threshold_exchanges = threshold_exchanges_;
+  s.exchanged_bytes = exchanged_bytes_;
+  s.ecn_marks = ecn_marks_;
+  s.queue_delay.reserve(delay_hist_.size());
+  for (const LogHistogram& h : delay_hist_) {
+    QueueDelaySummary q;
+    q.count = h.count();
+    // Sojourn times are recorded in picoseconds; report microseconds.
+    q.p50_us = static_cast<double>(h.percentile(50)) / 1e6;
+    q.p99_us = static_cast<double>(h.percentile(99)) / 1e6;
+    q.max_us = static_cast<double>(h.max()) / 1e6;
+    s.queue_delay.push_back(q);
+  }
+  return s;
+}
+
+std::string events_to_jsonl(std::span<const Event> events,
+                            std::span<const std::string> port_names) {
+  std::string out;
+  char buf[256];
+  for (const Event& e : events) {
+    const char* port = (e.port >= 0 && static_cast<std::size_t>(e.port) < port_names.size())
+                           ? port_names[static_cast<std::size_t>(e.port)].c_str()
+                           : "?";
+    int n = std::snprintf(buf, sizeof buf,
+                          "{\"t_ps\":%lld,\"kind\":\"%s\",\"port\":\"%s\",\"queue\":%d",
+                          static_cast<long long>(e.when),
+                          std::string(event_kind_name(e.kind)).c_str(), port,
+                          static_cast<int>(e.queue));
+    out.append(buf, static_cast<std::size_t>(n));
+    if (e.kind == EventKind::kDrop) {
+      n = std::snprintf(buf, sizeof buf, ",\"reason\":\"%s\"",
+                        std::string(drop_reason_name(e.reason)).c_str());
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    if (e.other_queue >= 0) {
+      n = std::snprintf(buf, sizeof buf, ",\"victim\":%d", static_cast<int>(e.other_queue));
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    n = std::snprintf(buf, sizeof buf, ",\"bytes\":%d,\"flow\":%u}\n",
+                      static_cast<int>(e.bytes), e.flow);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+bool write_events_jsonl(const std::string& path, std::span<const Event> events,
+                        std::span<const std::string> port_names) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << events_to_jsonl(events, port_names);
+  return out.good();
+}
+
+}  // namespace dynaq::telemetry

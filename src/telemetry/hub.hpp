@@ -1,0 +1,165 @@
+// The per-simulator telemetry hub (DESIGN.md §8): one Hub instance is
+// created next to each sim::Simulator (no globals, per CLAUDE.md) and every
+// instrumented component — switch qdiscs, host NIC queues, fault-injection
+// wrappers, ports — attaches to it by name.
+//
+// Overhead model: components hold a `Hub*` that is null until attached, so
+// an un-instrumented simulation pays one pointer test per potential
+// emission site; attached-but-disabled pays one extra bool load
+// (enabled()). bench/micro_telemetry asserts both stay under a per-op
+// budget. Emission itself is counter increments plus a bounded-ring write —
+// no allocation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/summary.hpp"
+
+namespace dynaq::telemetry {
+
+// One occupancy/threshold observation of every service queue at a port —
+// the unit of the Fig. 1/4 time series (stats::QueueLengthSampler is now a
+// thin adapter over this).
+struct QueueSample {
+  Time when = 0;
+  std::vector<std::int64_t> queue_bytes;  // occupancy per service queue
+  std::vector<std::int64_t> thresholds;   // drop threshold per queue (if any)
+};
+
+// Bounded occupancy time series with the paper's "skip then keep K
+// sequential samples" cadence, plus an optional minimum time gap turning
+// the event-driven cadence into a time-driven one.
+class QueueSeries {
+ public:
+  explicit QueueSeries(std::size_t capacity = 0, std::size_t skip = 0, Time min_gap = 0)
+      : capacity_(capacity), skip_(skip), min_gap_(min_gap) {}
+
+  void record(Time when, std::vector<std::int64_t> queue_bytes,
+              std::vector<std::int64_t> thresholds = {}) {
+    if (seen_++ < skip_) return;
+    if (samples_.size() >= capacity_) return;
+    if (min_gap_ > 0 && !samples_.empty() && when - samples_.back().when < min_gap_) return;
+    samples_.push_back(QueueSample{when, std::move(queue_bytes), std::move(thresholds)});
+  }
+
+  bool active() const { return samples_.size() < capacity_; }
+  bool full() const { return samples_.size() >= capacity_; }
+  const std::vector<QueueSample>& samples() const { return samples_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t skip_;
+  Time min_gap_;
+  std::size_t seen_ = 0;
+  std::vector<QueueSample> samples_;
+};
+
+struct HubConfig {
+  bool enabled = true;
+  std::size_t ring_capacity = 4096;  // newest events kept; older overwritten
+  std::size_t max_delay_queues = 64;  // per-queue delay histograms allocated lazily
+};
+
+class Hub {
+ public:
+  explicit Hub(sim::Simulator& sim, HubConfig config = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // ---- observation points -------------------------------------------------
+  // Registers an observation point; idempotent per name (the same name maps
+  // to the same id), so several components may share one point.
+  int register_port(const std::string& name);
+  const std::string& port_name(int id) const { return port_names_.at(static_cast<std::size_t>(id)); }
+  const std::vector<std::string>& port_names() const { return port_names_; }
+
+  // ---- typed event bus ----------------------------------------------------
+  // Emitters must gate on enabled() themselves (that is the whole fast
+  // path); emit() stamps the simulation time, bumps the aggregate counters,
+  // writes the ring and fans out to subscribers.
+  void emit(Event e);
+  void subscribe(std::function<void(const Event&)> fn) { subscribers_.push_back(std::move(fn)); }
+
+  std::size_t ring_capacity() const { return ring_.size(); }
+  std::size_t ring_size() const { return ring_count_; }
+  std::uint64_t ring_overwritten() const { return ring_overwritten_; }
+  std::vector<Event> ring_events() const;  // oldest -> newest
+
+  // ---- wire taps (packet tracing) -----------------------------------------
+  void add_wire_listener(std::function<void(const WireRecord&)> fn) {
+    wire_listeners_.push_back(std::move(fn));
+  }
+  bool wants_wire() const { return enabled_ && !wire_listeners_.empty(); }
+  void emit_wire(WireRecord w);
+
+  // ---- per-queue queueing delay -------------------------------------------
+  // Recorded by qdiscs at dequeue (sojourn time, picoseconds). Histograms
+  // are allocated on the first record per queue index.
+  void record_queue_delay(int queue, Time delay);
+  // Highest queue index recorded so far + 1 (0 when none).
+  std::size_t num_delay_queues() const { return delay_hist_.size(); }
+  const LogHistogram& queue_delay_histogram(int queue) const {
+    return delay_hist_.at(static_cast<std::size_t>(queue));
+  }
+
+  // ---- occupancy time series ----------------------------------------------
+  void enable_queue_sampling(std::size_t capacity, std::size_t skip = 0, Time min_gap = 0) {
+    series_ = QueueSeries(capacity, skip, min_gap);
+  }
+  bool sampling_active() const { return enabled_ && series_.active(); }
+  void sample(Time when, std::span<const std::int64_t> occupancy,
+              std::vector<std::int64_t> thresholds);
+  const std::vector<QueueSample>& queue_samples() const { return series_.samples(); }
+
+  // ---- metrics registry ---------------------------------------------------
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // ---- export -------------------------------------------------------------
+  TelemetrySummary summary() const;
+
+ private:
+  sim::Simulator& sim_;
+  bool enabled_;
+  std::vector<std::string> port_names_;
+
+  std::vector<Event> ring_;
+  std::size_t ring_head_ = 0;   // next write slot
+  std::size_t ring_count_ = 0;  // valid entries (<= ring_.size())
+  std::uint64_t ring_overwritten_ = 0;
+  std::vector<std::function<void(const Event&)>> subscribers_;
+  std::vector<std::function<void(const WireRecord&)>> wire_listeners_;
+
+  // Aggregate counters, monotonic regardless of ring overwrites.
+  std::array<std::uint64_t, kNumDropReasons> drops_by_reason_{};
+  std::uint64_t enqueues_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t threshold_exchanges_ = 0;
+  std::int64_t exchanged_bytes_ = 0;
+  std::uint64_t ecn_marks_ = 0;
+
+  std::size_t max_delay_queues_;
+  std::vector<LogHistogram> delay_hist_;  // indexed by service queue
+  QueueSeries series_;
+  MetricsRegistry metrics_;
+};
+
+// JSONL export of an event sequence (one JSON object per line, ports
+// resolved to their registered names). Used by the figure binaries to drop
+// machine-readable event dumps next to their CSVs.
+std::string events_to_jsonl(std::span<const Event> events,
+                            std::span<const std::string> port_names);
+bool write_events_jsonl(const std::string& path, std::span<const Event> events,
+                        std::span<const std::string> port_names);
+
+}  // namespace dynaq::telemetry

@@ -1,0 +1,123 @@
+// Metrics registry: named counters, gauges and HDR-style log-bucketed
+// histograms. The record path is allocation-free (fixed-size bucket
+// arrays, pre-resolved references); registry lookups happen once at
+// attach/registration time, never per packet.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace dynaq::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Log-bucketed histogram over non-negative int64 values (queueing delays in
+// picoseconds, byte counts). Values below 2^kSubBits land in exact
+// single-value buckets; above that, each power-of-two octave is split into
+// 2^kSubBits linear sub-buckets, bounding the relative quantile error at
+// 1/2^kSubBits (12.5%). Fixed-size array storage: no allocation on record.
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 3;       // 8 sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kMaxBits = 48;      // covers ~2.8e14 (ps -> ~280 s)
+  static constexpr int kNumBuckets = kSub + (kMaxBits - kSubBits) * kSub;
+
+  static constexpr int index_of(std::int64_t v) {
+    if (v < kSub) return v < 0 ? 0 : static_cast<int>(v);
+    const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+    if (msb >= kMaxBits) return kNumBuckets - 1;
+    const int sub = static_cast<int>((v >> (msb - kSubBits)) & (kSub - 1));
+    return kSub + (msb - kSubBits) * kSub + sub;
+  }
+
+  // Smallest value mapping to bucket `index`; index_of(lower_bound(i)) == i.
+  static constexpr std::int64_t lower_bound(int index) {
+    if (index < kSub) return index;
+    const int octave = (index - kSub) / kSub;
+    const int sub = (index - kSub) % kSub;
+    return (std::int64_t{1} << (kSubBits + octave)) +
+           (static_cast<std::int64_t>(sub) << octave);
+  }
+
+  void record(std::int64_t v) {
+    ++count_;
+    if (v > max_) max_ = v;
+    ++buckets_[static_cast<std::size_t>(index_of(v))];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t max() const { return max_; }
+  std::uint64_t bucket(int index) const { return buckets_[static_cast<std::size_t>(index)]; }
+
+  // Quantile estimate: the lower bound of the bucket holding the p-th
+  // percentile sample (deterministic, biased low by at most 12.5%).
+  std::int64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    auto rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      cum += buckets_[static_cast<std::size_t>(i)];
+      if (cum >= rank) return lower_bound(i);
+    }
+    return max_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::int64_t max_ = 0;
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+};
+
+// Named metric instruments. Accessors create on first use and return stable
+// references (node-based map): resolve once, record through the reference.
+// Iteration order is the map's lexicographic key order, keeping any export
+// deterministic.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return get(counters_, name); }
+  Gauge& gauge(const std::string& name) { return get(gauges_, name); }
+  LogHistogram& histogram(const std::string& name) { return get(histograms_, name); }
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const { return counters_; }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const { return gauges_; }
+  const std::map<std::string, std::unique_ptr<LogHistogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  template <typename T>
+  static T& get(std::map<std::string, std::unique_ptr<T>>& m, const std::string& name) {
+    auto& slot = m[name];
+    if (!slot) slot = std::make_unique<T>();
+    return *slot;
+  }
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace dynaq::telemetry

@@ -1,0 +1,43 @@
+// Compact per-run telemetry digest: the structure harness experiments
+// return and sweep::ResultStore embeds per job (JSON schema_version 2,
+// DESIGN.md §8). Everything is a pure function of the simulated events, so
+// summaries are byte-identical across worker counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace dynaq::telemetry {
+
+// Queueing-delay distribution of one service queue (microseconds; derived
+// from the per-queue picosecond LogHistogram).
+struct QueueDelaySummary {
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct TelemetrySummary {
+  std::array<std::uint64_t, kNumDropReasons> drops_by_reason{};
+  std::uint64_t enqueues = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t threshold_exchanges = 0;
+  std::int64_t exchanged_bytes = 0;
+  std::uint64_t ecn_marks = 0;
+  std::vector<QueueDelaySummary> queue_delay;  // indexed by service queue
+
+  std::uint64_t drops(DropReason reason) const {
+    return drops_by_reason[static_cast<std::size_t>(reason)];
+  }
+  std::uint64_t total_drops() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t n : drops_by_reason) sum += n;
+    return sum;
+  }
+};
+
+}  // namespace dynaq::telemetry

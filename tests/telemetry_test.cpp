@@ -1,0 +1,391 @@
+// Tests for the telemetry subsystem (DESIGN.md §8): histogram bucket
+// exactness, ring-buffer overwrite semantics, the drop-reason taxonomy
+// driven through the real qdiscs/harness, disabled-hub zero-side-effect,
+// and sweep-export byte identity across worker counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "harness/dynamic_experiment.hpp"
+#include "harness/static_experiment.hpp"
+#include "net/fault_injection.hpp"
+#include "net/multi_queue_qdisc.hpp"
+#include "net/queue_disc.hpp"
+#include "net/schedulers.hpp"
+#include "sim/simulator.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "telemetry/hub.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq {
+namespace {
+
+using telemetry::DropReason;
+using telemetry::EventKind;
+
+// A data packet destined for service queue `q`. make_data_packet adds the
+// 40-byte header, so the wire size is payload + 40.
+net::Packet pkt(int q, std::int32_t payload = 1'460, std::uint32_t flow = 1) {
+  net::Packet p = net::make_data_packet(flow, 0, 1, 0, payload);
+  p.queue = static_cast<std::uint8_t>(q);
+  return p;
+}
+
+std::unique_ptr<net::MultiQueueQdisc> make_qdisc(sim::Simulator& sim, core::SchemeKind kind,
+                                                 int queues, std::int64_t buffer_bytes) {
+  core::SchemeSpec spec;
+  spec.kind = kind;
+  return core::make_mq_qdisc(sim, std::vector<double>(static_cast<std::size_t>(queues), 1.0),
+                             buffer_bytes, spec, std::make_unique<net::DrrScheduler>(1'500));
+}
+
+// ----------------------------------------------------------- histogram --
+
+TEST(LogHistogram, BucketBoundariesExactEverywhere) {
+  using H = telemetry::LogHistogram;
+  for (int i = 0; i < H::kNumBuckets; ++i) {
+    const std::int64_t lo = H::lower_bound(i);
+    EXPECT_EQ(H::index_of(lo), i) << "lower bound of bucket " << i;
+    if (i > 0) {
+      EXPECT_EQ(H::index_of(lo - 1), i - 1) << "value below bucket " << i;
+    }
+  }
+  EXPECT_EQ(H::index_of(-5), 0) << "negative values clamp to the first bucket";
+  EXPECT_EQ(H::index_of(std::int64_t{1} << 60), H::kNumBuckets - 1)
+      << "values beyond kMaxBits clamp to the last bucket";
+}
+
+TEST(LogHistogram, SmallValuesAndPercentilesAreExact) {
+  telemetry::LogHistogram h;
+  for (std::int64_t v = 0; v < 8; ++v) h.record(v);  // sub-kSub: exact buckets
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_EQ(h.percentile(100), 7);
+  EXPECT_EQ(h.percentile(1), 0);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(h.bucket(i), 1u);
+}
+
+// ----------------------------------------------------------- event ring --
+
+TEST(Hub, RingOverwritesOldestButCountersStayMonotonic) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim, {.ring_capacity = 4});
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    hub.emit({.kind = EventKind::kEnqueue, .flow = i});
+  }
+  EXPECT_EQ(hub.ring_capacity(), 4u);
+  EXPECT_EQ(hub.ring_size(), 4u);
+  EXPECT_EQ(hub.ring_overwritten(), 2u);
+  const auto events = hub.ring_events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].flow, i + 2) << "oldest two events must be gone";
+  }
+  EXPECT_EQ(hub.summary().enqueues, 6u) << "aggregates ignore ring overwrites";
+}
+
+TEST(Hub, SubscribersSeeEveryEvent) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim, {.ring_capacity = 2});
+  std::vector<EventKind> seen;
+  hub.subscribe([&](const telemetry::Event& e) { seen.push_back(e.kind); });
+  hub.emit({.kind = EventKind::kEnqueue});
+  hub.emit({.kind = EventKind::kDrop, .reason = DropReason::kThreshold});
+  hub.emit({.kind = EventKind::kEcnMark});
+  ASSERT_EQ(seen.size(), 3u) << "fan-out is not bounded by the ring";
+  EXPECT_EQ(seen[1], EventKind::kDrop);
+}
+
+// --------------------------------------------- drop-reason taxonomy ----
+// One test per DropReason, each driving the real emitting component.
+
+TEST(DropTaxonomy, ThresholdWhenNoVictimExists) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  // Single service queue, B = 2000: the second 1500 B packet exceeds the
+  // threshold and there is no other queue to borrow from.
+  auto qd = make_qdisc(sim, core::SchemeKind::kDynaQ, 1, 2'000);
+  qd->attach_telemetry(hub, "sw.p0");
+  EXPECT_TRUE(qd->enqueue(pkt(0)));
+  EXPECT_FALSE(qd->enqueue(pkt(0)));
+  const auto s = hub.summary();
+  EXPECT_EQ(s.drops(DropReason::kThreshold), 1u);
+  EXPECT_EQ(s.total_drops(), 1u);
+  EXPECT_EQ(s.enqueues, 1u);
+}
+
+TEST(DropTaxonomy, VictimTooSmallWhenThresholdBelowPacket) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  // Two queues, B = 2000 -> T = {1000, 1000}: the very first 1500 B packet
+  // needs an exchange but the victim's whole threshold is below the packet.
+  auto qd = make_qdisc(sim, core::SchemeKind::kDynaQ, 2, 2'000);
+  qd->attach_telemetry(hub, "sw.p0");
+  EXPECT_FALSE(qd->enqueue(pkt(0)));
+  EXPECT_EQ(hub.summary().drops(DropReason::kVictimTooSmall), 1u);
+}
+
+TEST(DropTaxonomy, VictimUnsatisfiedWhenActiveVictimWouldDropBelowS) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  // Two queues, B = 6000 -> T = S = {3000, 3000}. Queue 1 holds one packet
+  // (active); queue 0 fills to its threshold, then one more arrival asks
+  // queue 1 to donate 1500 B, which would leave T_1 = 1500 < S_1.
+  auto qd = make_qdisc(sim, core::SchemeKind::kDynaQ, 2, 6'000);
+  qd->attach_telemetry(hub, "sw.p0");
+  EXPECT_TRUE(qd->enqueue(pkt(1)));
+  EXPECT_TRUE(qd->enqueue(pkt(0)));
+  EXPECT_TRUE(qd->enqueue(pkt(0)));
+  EXPECT_FALSE(qd->enqueue(pkt(0)));
+  EXPECT_EQ(hub.summary().drops(DropReason::kVictimUnsatisfied), 1u);
+}
+
+TEST(DropTaxonomy, PortFullWhenPolicyAdmitsButBufferCannot) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  // BestEffort has no per-queue quota: the physical bound is the only limit.
+  auto qd = make_qdisc(sim, core::SchemeKind::kBestEffort, 2, 2'000);
+  qd->attach_telemetry(hub, "sw.p0");
+  EXPECT_TRUE(qd->enqueue(pkt(0)));
+  EXPECT_FALSE(qd->enqueue(pkt(1)));
+  EXPECT_EQ(hub.summary().drops(DropReason::kPortFull), 1u);
+}
+
+TEST(DropTaxonomy, NicFullFromHostDropTailQueue) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  net::DropTailQueue nic(2'000);
+  nic.attach_telemetry(hub, "h0.nic");
+  EXPECT_TRUE(nic.enqueue(pkt(0)));
+  EXPECT_FALSE(nic.enqueue(pkt(0)));
+  EXPECT_EQ(hub.summary().drops(DropReason::kNicFull), 1u);
+  EXPECT_EQ(nic.drops(), 1u);
+}
+
+TEST(DropTaxonomy, InjectedFromFaultInjectionQueue) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  net::DeterministicLossQueue loss({0});  // drop the first data packet
+  loss.attach_telemetry(hub, "link");
+  EXPECT_FALSE(loss.enqueue(pkt(0)));
+  EXPECT_TRUE(loss.enqueue(pkt(0)));
+  const auto s = hub.summary();
+  EXPECT_EQ(s.drops(DropReason::kInjected), 1u);
+  EXPECT_EQ(loss.injected_losses(), 1u);
+  // Injected losses are also counted in the metrics registry.
+  EXPECT_EQ(hub.metrics().counter("drops_injected").value(), 1u);
+}
+
+// ------------------------------------------------- exchange events -----
+
+TEST(Telemetry, ThresholdExchangeEmittedOnSuccessfulBorrow) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  // B = 6000, queue 1 idle: queue 0's third packet borrows 1500 B of
+  // threshold from the inactive victim and is admitted.
+  auto qd = make_qdisc(sim, core::SchemeKind::kDynaQ, 2, 6'000);
+  qd->attach_telemetry(hub, "sw.p0");
+  EXPECT_TRUE(qd->enqueue(pkt(0)));
+  EXPECT_TRUE(qd->enqueue(pkt(0)));
+  EXPECT_TRUE(qd->enqueue(pkt(0)));
+  const auto s = hub.summary();
+  EXPECT_EQ(s.threshold_exchanges, 1u);
+  EXPECT_EQ(s.exchanged_bytes, 1'500);
+  EXPECT_EQ(s.enqueues, 3u);
+  EXPECT_EQ(s.total_drops(), 0u);
+  bool saw_exchange = false;
+  for (const auto& e : hub.ring_events()) {
+    if (e.kind != EventKind::kThresholdExchange) continue;
+    saw_exchange = true;
+    EXPECT_EQ(e.queue, 0) << "requester";
+    EXPECT_EQ(e.other_queue, 1) << "victim";
+    EXPECT_EQ(e.bytes, 1'500);
+  }
+  EXPECT_TRUE(saw_exchange);
+}
+
+// ---------------------------------------------- disabled-hub fast path --
+
+TEST(Telemetry, DisabledHubHasZeroSideEffects) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim, {.enabled = false});
+  auto qd = make_qdisc(sim, core::SchemeKind::kDynaQ, 2, 6'000);
+  qd->attach_telemetry(hub, "sw.p0");
+  net::DropTailQueue nic(2'000);
+  nic.attach_telemetry(hub, "h0.nic");
+  net::DeterministicLossQueue loss({0});
+  loss.attach_telemetry(hub, "link");
+
+  for (int i = 0; i < 3; ++i) qd->enqueue(pkt(0));  // exchange + drops happen
+  nic.enqueue(pkt(0));
+  nic.enqueue(pkt(0));  // NIC drop happens
+  loss.enqueue(pkt(0));  // injected loss happens
+  while (qd->dequeue()) {
+  }
+
+  EXPECT_EQ(hub.ring_size(), 0u);
+  EXPECT_EQ(hub.num_delay_queues(), 0u);
+  EXPECT_FALSE(hub.sampling_active());
+  const auto s = hub.summary();
+  EXPECT_EQ(s.total_drops(), 0u);
+  EXPECT_EQ(s.enqueues, 0u);
+  EXPECT_EQ(s.threshold_exchanges, 0u);
+  EXPECT_TRUE(s.queue_delay.empty());
+}
+
+TEST(Telemetry, CollectionDoesNotPerturbTheSimulation) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 3;
+  cfg.groups = {{.queue = 0, .num_flows = 2, .first_src_host = 1, .num_src_hosts = 2,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+                {.queue = 1, .num_flows = 2, .first_src_host = 1, .num_src_hosts = 2,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno}};
+  cfg.duration = milliseconds(std::int64_t{500});
+  cfg.collect_telemetry = true;
+  const auto with = harness::run_static_experiment(cfg);
+  cfg.collect_telemetry = false;
+  const auto without = harness::run_static_experiment(cfg);
+
+  EXPECT_EQ(with.events, without.events) << "observation must not change the trajectory";
+  EXPECT_EQ(with.bottleneck_stats.enqueued, without.bottleneck_stats.enqueued);
+  EXPECT_EQ(with.bottleneck_stats.dropped, without.bottleneck_stats.dropped);
+  EXPECT_GT(with.telemetry.enqueues, 0u);
+  EXPECT_EQ(without.telemetry.enqueues, 0u);
+  EXPECT_TRUE(without.telemetry_events.empty());
+}
+
+// -------------------------------------------- harness cross-checks -----
+
+TEST(Telemetry, HarnessSummaryMatchesQdiscStats) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 4;
+  cfg.star.buffer_bytes = 40'000;  // small buffer: force policy drops
+  cfg.groups = {{.queue = 0, .num_flows = 3, .first_src_host = 1, .num_src_hosts = 3,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno},
+                {.queue = 1, .num_flows = 3, .first_src_host = 1, .num_src_hosts = 3,
+                 .start = 0, .stop = 0, .cc = transport::CcKind::kNewReno}};
+  cfg.duration = seconds(std::int64_t{1});
+  const auto r = harness::run_static_experiment(cfg);
+
+  // The bottleneck port is the only MultiQueueQdisc attached to the hub, so
+  // the event-bus aggregates must agree with its internal MqStats exactly.
+  const auto& s = r.telemetry;
+  EXPECT_EQ(s.enqueues, r.bottleneck_stats.enqueued);
+  EXPECT_EQ(s.drops(DropReason::kThreshold) + s.drops(DropReason::kVictimUnsatisfied) +
+                s.drops(DropReason::kVictimTooSmall),
+            r.bottleneck_stats.dropped_by_policy);
+  EXPECT_EQ(s.drops(DropReason::kPortFull), r.bottleneck_stats.dropped_port_full);
+  EXPECT_GT(s.threshold_exchanges, 0u) << "contended DynaQ run must exchange thresholds";
+  EXPECT_GT(s.exchanged_bytes, 0);
+
+  // Per-queue queueing delay collected at the bottleneck.
+  ASSERT_GE(s.queue_delay.size(), 2u);
+  for (int q = 0; q < 2; ++q) {
+    const auto& d = s.queue_delay[static_cast<std::size_t>(q)];
+    EXPECT_GT(d.count, 0u);
+    EXPECT_GE(d.p99_us, d.p50_us);
+    EXPECT_GE(d.max_us, d.p99_us);
+    EXPECT_GT(d.p50_us, 0.0);
+  }
+  EXPECT_FALSE(r.telemetry_ports.empty());
+  EXPECT_FALSE(r.telemetry_events.empty());
+}
+
+// ------------------------------------------------------- JSONL export --
+
+TEST(Telemetry, EventsRenderAsJsonlWithPortNamesAndReasons) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  const auto port = static_cast<std::int16_t>(hub.register_port("sw.p0"));
+  hub.emit({.kind = EventKind::kDrop,
+            .reason = DropReason::kVictimUnsatisfied,
+            .port = port,
+            .queue = 2,
+            .bytes = 1'500,
+            .flow = 7});
+  hub.emit({.kind = EventKind::kThresholdExchange,
+            .port = port,
+            .queue = 0,
+            .other_queue = 3,
+            .bytes = 1'500});
+  const std::string jsonl = telemetry::events_to_jsonl(hub.ring_events(), hub.port_names());
+  EXPECT_NE(jsonl.find("\"kind\":\"drop\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"reason\":\"victim_unsatisfied\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"port\":\"sw.p0\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"victim\":3"), std::string::npos);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+// ------------------------------------------------ sweep integration ----
+
+TEST(Telemetry, SweepJsonByteIdenticalAcrossWorkerCounts) {
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::labels("scheme", {"DynaQ", "BestEffort"}),
+               sweep::Axis::numeric("seed", {1, 2})};
+  const auto job = [](const sweep::JobPoint& p) -> sweep::JobResult {
+    harness::DynamicStarConfig cfg;
+    cfg.star.scheme.kind = core::parse_scheme(p.label("scheme"));
+    cfg.num_flows = 60;
+    cfg.load = 0.5;
+    cfg.dist = &workload::web_search_workload();
+    cfg.seed = static_cast<std::uint64_t>(p.number("seed"));
+    auto r = harness::run_dynamic_star_experiment(cfg);
+    return sweep::JobResult{{{"flows", static_cast<double>(r.fcts.count())},
+                             {"drops", static_cast<double>(r.telemetry.total_drops())}},
+                            std::move(r.telemetry)};
+  };
+
+  const auto s1 = sweep::SweepRunner(sweep::RunnerOptions{.jobs = 1}).run("tel", spec, job);
+  const auto s3 = sweep::SweepRunner(sweep::RunnerOptions{.jobs = 3}).run("tel", spec, job);
+  ASSERT_EQ(s1.failures(), 0u);
+  ASSERT_EQ(s3.failures(), 0u);
+
+  const sweep::JsonOptions no_perf{.include_perf = false};
+  const std::string j1 = s1.to_json(no_perf);
+  EXPECT_EQ(j1, s3.to_json(no_perf)) << "telemetry must not break sweep determinism";
+
+  // schema_version 2: per-job telemetry block with the full drop taxonomy.
+  EXPECT_NE(j1.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(j1.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(j1.find("\"threshold_exchanges\""), std::string::npos);
+  EXPECT_NE(j1.find("\"victim_unsatisfied\""), std::string::npos);
+  EXPECT_NE(j1.find("\"queue_delay\""), std::string::npos);
+
+  for (const auto& o : s1.outcomes()) {
+    ASSERT_TRUE(o.telemetry.has_value());
+    EXPECT_GT(o.telemetry->enqueues, 0u);
+  }
+}
+
+// ------------------------------------------------------ time series ----
+
+TEST(QueueSeries, MinGapTurnsEventCadenceIntoTimeCadence) {
+  telemetry::QueueSeries series(10, 0, 100);
+  series.record(0, {1});
+  series.record(50, {2});   // closer than min_gap: skipped
+  series.record(120, {3});  // 120 ps after the last kept sample: recorded
+  ASSERT_EQ(series.samples().size(), 2u);
+  EXPECT_EQ(series.samples()[1].when, 120);
+  EXPECT_EQ(series.samples()[1].queue_bytes[0], 3);
+}
+
+TEST(QueueSeries, HubSamplingStopsAtCapacity) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim);
+  EXPECT_FALSE(hub.sampling_active()) << "capacity 0 means sampling is off";
+  hub.enable_queue_sampling(2);
+  EXPECT_TRUE(hub.sampling_active());
+  const std::vector<std::int64_t> occ{100, 200};
+  hub.sample(0, occ, {50, 50});
+  hub.sample(1, occ, {50, 50});
+  EXPECT_FALSE(hub.sampling_active());
+  ASSERT_EQ(hub.queue_samples().size(), 2u);
+  EXPECT_EQ(hub.queue_samples()[0].thresholds[1], 50);
+}
+
+}  // namespace
+}  // namespace dynaq

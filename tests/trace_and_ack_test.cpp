@@ -45,7 +45,8 @@ transport::FlowParams flow_of(std::int64_t bytes) {
 
 TEST(PacketTracer, RecordsTransmitAndDeliverWithTimestamps) {
   Pipe pipe;
-  net::PacketTracer tracer(pipe.sim);
+  telemetry::Hub hub(pipe.sim);
+  net::PacketTracer tracer(hub);
   tracer.attach(pipe.a->nic(), "h0.nic");
 
   const auto params = flow_of(1'460);
@@ -73,7 +74,8 @@ TEST(PacketTracer, RecordsTransmitAndDeliverWithTimestamps) {
 
 TEST(PacketTracer, FlowFilterExcludesOthers) {
   Pipe pipe;
-  net::PacketTracer tracer(pipe.sim);
+  telemetry::Hub hub(pipe.sim);
+  net::PacketTracer tracer(hub);
   tracer.filter_flow(2);
   tracer.attach(pipe.a->nic(), "h0");
   for (std::uint32_t id = 1; id <= 3; ++id) {
@@ -89,7 +91,8 @@ TEST(PacketTracer, FlowFilterExcludesOthers) {
 
 TEST(PacketTracer, PrintsHumanReadableLines) {
   Pipe pipe;
-  net::PacketTracer tracer(pipe.sim);
+  telemetry::Hub hub(pipe.sim);
+  net::PacketTracer tracer(hub);
   tracer.attach(pipe.a->nic(), "h0");
   const auto params = flow_of(1'460);
   pipe.agent_b->add_receiver(params);
@@ -98,6 +101,28 @@ TEST(PacketTracer, PrintsHumanReadableLines) {
   std::ostringstream os;
   tracer.print(os);
   EXPECT_NE(os.str().find("h0 tx DATA flow=1 seq=0 size=1500"), std::string::npos);
+}
+
+TEST(PacketTracer, TwoTracersOnOneHubBothRecord) {
+  // The bus fans out to every subscriber; with the old per-port callback
+  // design the second tracer silently clobbered the first.
+  Pipe pipe;
+  telemetry::Hub hub(pipe.sim);
+  net::PacketTracer all(hub);
+  net::PacketTracer only_flow2(hub);
+  only_flow2.filter_flow(2);
+  all.attach(pipe.a->nic(), "h0");
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    transport::FlowParams params = flow_of(1'460);
+    params.id = id;
+    pipe.agent_b->add_receiver(params);
+    pipe.agent_a->add_sender(params).start();
+  }
+  pipe.sim.run();
+  ASSERT_FALSE(all.events().empty());
+  ASSERT_FALSE(only_flow2.events().empty());
+  EXPECT_GT(all.events().size(), only_flow2.events().size());
+  for (const auto& e : only_flow2.events()) EXPECT_EQ(e.flow, 2u);
 }
 
 // -------------------------------------------------------- delayed ACK --

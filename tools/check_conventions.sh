@@ -20,6 +20,12 @@
 #      worker pool, DESIGN.md §7): simulators are single-threaded by design,
 #      so no other src/ directory may use std::thread/mutex/atomic — a sweep
 #      job parallelizes whole simulator instances, never their internals.
+#   8. Instrumentation goes through telemetry::Hub (DESIGN.md §8): no
+#      ad-hoc per-port callback mutation. The last-writer-wins Port
+#      callbacks (on_transmit_start/on_deliver) were replaced by the hub's
+#      wire taps and must not be reintroduced; library code in src/ must
+#      not assign the qdisc measurement hooks (only measurement drivers —
+#      src/harness, bench/, tests/, examples/ — may).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -87,6 +93,21 @@ hits=$(grep -rnE 'std::(thread|jthread|mutex|atomic|condition_variable|future|as
 if [[ -n "$hits" ]]; then
   complain "threads-only-in-sweep" \
     "only src/sweep (dynaq::sweep worker pool) may use threading primitives:" "$hits"
+fi
+
+# -- 8. instrumentation via telemetry::Hub ----------------------------------
+hits=$(grep -rnE '\.on_(transmit_start|deliver)\s*=' src/ tests/ bench/ examples/ \
+  2>/dev/null || true)
+if [[ -n "$hits" ]]; then
+  complain "telemetry-hub-instrumentation" \
+    "per-port wire callbacks were replaced by telemetry::Hub wire taps (DESIGN.md §8):" "$hits"
+fi
+hits=$(grep -rnE '\.?on_(dequeue_hook|drop_hook|op_hook)\s*=' src/ \
+  | grep -v '^src/harness/' | grep -v '^src/net/multi_queue_qdisc.hpp' \
+  | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "telemetry-hub-instrumentation" \
+    "library code must observe via telemetry::Hub, not qdisc measurement hooks:" "$hits"
 fi
 
 # -- 6. pragma once in headers ----------------------------------------------

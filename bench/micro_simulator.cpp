@@ -1,101 +1,269 @@
-// Micro-benchmarks of the simulation substrate: event-loop throughput,
-// port serialization, and per-scheme enqueue/dequeue cost of the
-// multi-queue qdisc. These bound how large an experiment the simulator can
-// sustain (events/second) and show the relative software cost of each
-// buffer-management scheme's hot path.
-#include <benchmark/benchmark.h>
+// Perf-regression harness for the event engine (DESIGN.md §9).
+//
+// Four workloads exercise the hot paths the models hit:
+//   chain  — self-rescheduling tickers (steady-state ring insert/pop)
+//   fanout — bulk out-of-order inserts across a wide horizon (overflow +
+//            window rebuilds + staged-front sorts)
+//   packet — tickers that capture a net::Packet by value (the serialization
+//            / propagation hop closure; must never heap-allocate)
+//   cancel — a ticker that arms and cancels a far-future decoy per event
+//            (the retransmit-timer push-out pattern)
+//
+// Reports ns/event and events/sec (best of --reps passes) against the
+// pre-rewrite baseline (binary heap of std::function, commit c1754d0;
+// measured with the same workload code on the same machine class), and
+// verifies the hot path stays allocation-free (zero EventFn heap
+// fallbacks). --json writes BENCH_core.json; --assert-budget (used by
+// ci.sh) fails the run when any workload exceeds its soft ns/event budget
+// or a closure falls back to the heap.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
-#include <memory>
-
-#include "core/scheme.hpp"
-#include "net/multi_queue_qdisc.hpp"
-#include "net/schedulers.hpp"
+#include "harness/cli.hpp"
+#include "net/packet.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
-
-namespace {
+#include "sweep/json.hpp"
 
 using namespace dynaq;
 
-void BM_EventLoopThroughput(benchmark::State& state) {
-  // Self-rescheduling event chain: measures raw schedule+dispatch cost.
-  for (auto _ : state) {
-    state.PauseTiming();
-    sim::Simulator sim;
-    const int n = 100'000;
-    int remaining = n;
-    std::function<void()> tick = [&] {
-      if (--remaining > 0) sim.schedule_in(nanoseconds(10), tick);
-    };
-    sim.schedule_in(nanoseconds(10), tick);
-    state.ResumeTiming();
-    sim.run();
-    benchmark::DoNotOptimize(sim.events_processed());
-  }
-  state.SetItemsProcessed(state.iterations() * 100'000);
-}
-BENCHMARK(BM_EventLoopThroughput)->Unit(benchmark::kMillisecond);
+namespace {
 
-void BM_EventQueueFanout(benchmark::State& state) {
-  // Wide pending set: heap behaviour with many concurrent timers.
-  const int width = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    state.PauseTiming();
-    sim::Simulator sim;
-    sim::Rng rng(1);
-    for (int i = 0; i < width; ++i) {
-      sim.schedule_at(nanoseconds(rng.uniform_int(1, 1'000'000)), [] {});
-    }
-    state.ResumeTiming();
-    sim.run();
-  }
-  state.SetItemsProcessed(state.iterations() * width);
-}
-BENCHMARK(BM_EventQueueFanout)->Arg(1'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+// Pre-rewrite baseline, ns/event: the same workloads driven through the
+// std::function binary-heap engine (commit c1754d0), best of 5.
+constexpr double kBaselineChainNs = 38.39;
+constexpr double kBaselineFanoutNs = 283.49;
+constexpr double kBaselinePacketNs = 67.74;
 
-void bench_scheme(benchmark::State& state, core::SchemeKind kind) {
+// Soft budgets (ns/event) for --assert-budget: ~2-2.5x the measured
+// post-rewrite numbers (chain ~19, fanout ~150, packet ~27, cancel ~40),
+// loose enough for a busy shared single-core machine, tight enough to
+// catch a complexity regression. The hard gate is the heap-fallback
+// count: any per-event allocation fails the run regardless of timing.
+constexpr double kBudgetChainNs = 45.0;
+constexpr double kBudgetFanoutNs = 400.0;
+constexpr double kBudgetPacketNs = 65.0;
+constexpr double kBudgetCancelNs = 95.0;
+
+struct Measurement {
+  double ns_per_event = 0;
+  std::uint64_t heap_fallbacks = 0;
+};
+
+double secs(std::chrono::steady_clock::time_point a, std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Ticker {
+  sim::Simulator* sim;
+  long* remaining;
+  void operator()() const {
+    if (--*remaining > 0) sim->schedule_in(nanoseconds(10), *this);
+  }
+};
+
+Measurement chain_pass(long n) {
   sim::Simulator sim;
-  core::SchemeSpec spec;
-  spec.kind = kind;
-  spec.ecn.port_threshold_bytes = 30'000;
-  spec.ecn.sojourn_threshold = microseconds(std::int64_t{240});
-  spec.ecn.capacity_bps = 1e9;
-  spec.ecn.rtt = microseconds(std::int64_t{500});
-  auto qd = core::make_mq_qdisc(sim, std::vector<double>(8, 1.0), 192'000, spec,
-                                std::make_unique<net::DrrScheduler>(1500));
-  sim::Rng rng(7);
-  int q = 0;
-  for (auto _ : state) {
-    net::Packet p = net::make_data_packet(1, 0, 1, 0, 1460);
-    p.queue = static_cast<std::uint8_t>(q);
-    p.set(net::kFlagEct);
-    benchmark::DoNotOptimize(qd->enqueue(std::move(p)));
-    if (qd->backlog_bytes() > 150'000) {
-      while (qd->backlog_bytes() > 50'000) benchmark::DoNotOptimize(qd->dequeue());
-    }
-    q = (q + 1) & 7;
+  long remaining = n;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < 4; ++c) sim.schedule_in(nanoseconds(10 + c), Ticker{&sim, &remaining});
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {secs(t0, t1) * 1e9 / static_cast<double>(n), sim.event_heap_fallbacks()};
+}
+
+Measurement fanout_pass(long width) {
+  sim::Simulator sim;
+  sim::Rng rng(1);
+  long fired = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long i = 0; i < width; ++i) {
+    sim.schedule_at(nanoseconds(rng.uniform_int(1, 1'000'000)), [&fired] { ++fired; });
   }
-  state.SetItemsProcessed(state.iterations());
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (fired != width) std::abort();
+  return {secs(t0, t1) * 1e9 / static_cast<double>(width), sim.event_heap_fallbacks()};
 }
 
-void BM_QdiscDynaQ(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kDynaQ); }
-void BM_QdiscDynaQEvict(benchmark::State& state) {
-  bench_scheme(state, core::SchemeKind::kDynaQEvict);
-}
-void BM_QdiscBestEffort(benchmark::State& state) {
-  bench_scheme(state, core::SchemeKind::kBestEffort);
-}
-void BM_QdiscPql(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kPql); }
-void BM_QdiscPmsb(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kPmsb); }
-void BM_QdiscMqEcn(benchmark::State& state) { bench_scheme(state, core::SchemeKind::kMqEcn); }
+// Mirrors the Port::start_transmission closure shape — one context pointer
+// plus a Packet by value (104 bytes, the largest inline-eligible capture;
+// see the static_asserts in net/port.hpp).
+struct PacketChain {
+  sim::Simulator* sim;
+  long remaining;
+};
 
-BENCHMARK(BM_QdiscDynaQ);
-BENCHMARK(BM_QdiscDynaQEvict);
-BENCHMARK(BM_QdiscBestEffort);
-BENCHMARK(BM_QdiscPql);
-BENCHMARK(BM_QdiscPmsb);
-BENCHMARK(BM_QdiscMqEcn);
+struct PacketHop {
+  PacketChain* chain;
+  net::Packet pkt;
+  void operator()() const {
+    if (--chain->remaining > 0) {
+      net::Packet next = pkt;
+      next.seq += static_cast<std::uint64_t>(next.payload);
+      chain->sim->schedule_in(nanoseconds(120), PacketHop{chain, next});
+    }
+  }
+};
+static_assert(sim::EventFn::fits_inline<PacketHop>());
+
+Measurement packet_pass(long n) {
+  sim::Simulator sim;
+  PacketChain chain{&sim, n};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < 4; ++c) {
+    sim.schedule_in(nanoseconds(120 + c),
+                    PacketHop{&chain, net::make_data_packet(1, 0, 1, 0, 1460)});
+  }
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {secs(t0, t1) * 1e9 / static_cast<double>(n), sim.event_heap_fallbacks()};
+}
+
+// Retransmit-timer pattern: every tick re-arms a decoy deadline far in the
+// future, cancelling the previous one. Cost is charged per fired event
+// (each tick = one fire + one cancel + two schedules).
+struct CancelTicker {
+  sim::Simulator* sim;
+  long* remaining;
+  sim::EventId* decoy;
+  void operator()() const {
+    if (*decoy != sim::kNoEvent && !sim->cancel(*decoy)) std::abort();
+    *decoy = sim->schedule_in(milliseconds(std::int64_t{200}), [] { std::abort(); });
+    if (--*remaining > 0) sim->schedule_in(nanoseconds(10), *this);
+  }
+};
+
+Measurement cancel_pass(long n) {
+  sim::Simulator sim;
+  long remaining = n;
+  sim::EventId decoy = sim::kNoEvent;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.schedule_in(nanoseconds(10), CancelTicker{&sim, &remaining, &decoy});
+  sim.run_until(milliseconds(std::int64_t{100}));  // the last decoy never fires
+  const auto t1 = std::chrono::steady_clock::now();
+  if (remaining > 0 || sim.events_cancelled() != static_cast<std::uint64_t>(n) - 1) std::abort();
+  return {secs(t0, t1) * 1e9 / static_cast<double>(n), sim.event_heap_fallbacks()};
+}
+
+template <typename F>
+Measurement best_of(F pass, int reps) {
+  Measurement best = pass();
+  for (int r = 1; r < reps; ++r) {
+    const Measurement m = pass();
+    if (m.ns_per_event < best.ns_per_event) best = m;
+  }
+  return best;
+}
+
+struct Row {
+  const char* name;
+  Measurement m;
+  double baseline_ns;  // 0 = no pre-rewrite baseline (workload didn't exist)
+  double budget_ns;
+};
+
+void json_row(sweep::JsonWriter& w, const Row& r) {
+  w.key(r.name);
+  w.begin_object();
+  w.key("ns_per_event");
+  w.value(r.m.ns_per_event);
+  w.key("events_per_sec");
+  w.value(1e9 / r.m.ns_per_event);
+  w.key("heap_fallbacks");
+  w.value(static_cast<std::int64_t>(r.m.heap_fallbacks));
+  if (r.baseline_ns > 0) {
+    w.key("baseline_ns_per_event");
+    w.value(r.baseline_ns);
+    w.key("speedup");
+    w.value(r.baseline_ns / r.m.ns_per_event);
+  }
+  w.key("budget_ns_per_event");
+  w.value(r.budget_ns);
+  w.end_object();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const harness::Cli cli(argc, argv);
+  const long events = cli.integer("events", 400'000);
+  const long fanout_width = cli.integer("fanout-width", 100'000);
+  const int reps = static_cast<int>(cli.integer("reps", 5));
+  const bool assert_budget = cli.flag("assert-budget");
+  const std::string json_path = cli.text("json", "");
+
+  std::puts("Event-engine microbench (DESIGN.md §9 perf-regression harness)");
+  std::printf("(%ld events per pass, best of %d passes; baseline = binary-heap\n"
+              " std::function engine at commit c1754d0)\n\n",
+              events, reps);
+
+  const Row rows[] = {
+      {"chain", best_of([&] { return chain_pass(events); }, reps), kBaselineChainNs,
+       kBudgetChainNs},
+      {"fanout", best_of([&] { return fanout_pass(fanout_width); }, reps), kBaselineFanoutNs,
+       kBudgetFanoutNs},
+      {"packet", best_of([&] { return packet_pass(events); }, reps), kBaselinePacketNs,
+       kBudgetPacketNs},
+      {"cancel", best_of([&] { return cancel_pass(events); }, reps), 0.0, kBudgetCancelNs},
+  };
+
+  std::printf("%-8s %12s %14s %10s %14s\n", "workload", "ns/event", "Mevents/s", "speedup",
+              "heap-fallback");
+  for (const Row& r : rows) {
+    char speedup[16] = "n/a";
+    if (r.baseline_ns > 0) {
+      std::snprintf(speedup, sizeof speedup, "%.2fx", r.baseline_ns / r.m.ns_per_event);
+    }
+    std::printf("%-8s %12.2f %14.2f %10s %14llu\n", r.name, r.m.ns_per_event,
+                1e3 / r.m.ns_per_event, speedup,
+                static_cast<unsigned long long>(r.m.heap_fallbacks));
+  }
+
+  if (!json_path.empty()) {
+    sweep::JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.value("dynaq-bench-core-v1");
+    w.key("events_per_pass");
+    w.value(static_cast<std::int64_t>(events));
+    w.key("reps");
+    w.value(reps);
+    w.key("baseline");
+    w.value("binary-heap std::function engine (commit c1754d0), best of 5");
+    w.key("workloads");
+    w.begin_object();
+    for (const Row& r : rows) json_row(w, r);
+    w.end_object();
+    w.end_object();
+    std::ofstream out(json_path);
+    out << w.take() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (assert_budget) {
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (r.m.ns_per_event > r.budget_ns) {
+        std::fprintf(stderr, "FAIL: %s %.2f ns/event exceeds soft budget %.2f\n", r.name,
+                     r.m.ns_per_event, r.budget_ns);
+        ok = false;
+      }
+      if (r.m.heap_fallbacks != 0) {
+        std::fprintf(stderr, "FAIL: %s made %llu heap-fallback allocations (want 0)\n", r.name,
+                     static_cast<unsigned long long>(r.m.heap_fallbacks));
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::puts("\nPASS: all workloads within ns/event budgets, zero heap fallbacks");
+  }
+  return 0;
+}

@@ -38,6 +38,10 @@ echo "==> [1/3] telemetry fast-path budget (micro_telemetry)"
 # Disabled-hub overhead must stay a single guarded branch (DESIGN.md §8);
 # the budget is generous vs. the ~1ns branch cost to keep CI noise-proof.
 build-ci/bench/micro_telemetry --ops=300000 --reps=3 --assert-budget-ns=25
+echo "==> [1/3] event-engine perf regression (micro_simulator) -> BENCH_core.json"
+# Soft ns/event budgets plus a hard zero-heap-fallback gate (DESIGN.md §9);
+# the JSON snapshot is the committed perf trajectory, like BENCH_sweep.json.
+build-ci/bench/micro_simulator --reps=5 --assert-budget --json BENCH_core.json
 
 if [[ $skip_asan -eq 0 ]]; then
   echo "==> [2/3] ASan+UBSan ctest"

@@ -78,6 +78,11 @@ class Port {
   }
 
   void start_transmission() {
+    // The serialize/propagate closures below capture a Packet by value;
+    // they must fit an event slot's inline buffer or every packet hop
+    // would heap-allocate (DESIGN.md §9).
+    static_assert(sim::EventFn::fits_inline<Packet>());
+    static_assert(sizeof(Packet) + sizeof(void*) <= sim::kEventInlineBytes);
     auto next = qdisc_->dequeue();
     if (!next) return;
     transmitting_ = true;

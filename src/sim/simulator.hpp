@@ -4,11 +4,19 @@
 // components hold a reference to the Simulator that owns their timeline;
 // there is no global simulator instance, so tests can run many independent
 // simulations in one process.
+//
+// Scheduling is allocation-free on the hot path (DESIGN.md §9): callables
+// go straight into the Simulator's event arena (EventPool slots with
+// inline storage — no std::function, no per-event heap allocation) and the
+// pending-event set is a calendar queue with O(1) push/pop and O(1)
+// cancellation. Determinism contract: events at the same timestamp fire in
+// the order they were scheduled.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
-#include <functional>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -24,17 +32,27 @@ class Simulator {
   // Current simulation time. Monotonically non-decreasing.
   Time now() const { return now_; }
 
-  // Schedules `action` at absolute time `when`. Scheduling in the past is a
-  // programming error and throws.
-  EventId schedule_at(Time when, std::function<void()> action) {
+  // Schedules `action` (any move-constructible callable) at absolute time
+  // `when`. Scheduling in the past is a programming error and throws. The
+  // returned id stays valid until the event fires or is cancelled.
+  template <typename F>
+    requires std::invocable<std::remove_cvref_t<F>&>
+  EventId schedule_at(Time when, F&& action) {
     if (when < now_) throw std::logic_error("Simulator: scheduling into the past");
-    return events_.push(when, std::move(action));
+    return events_.push(when, std::forward<F>(action));
   }
 
   // Schedules `action` `delay` after the current time.
-  EventId schedule_in(Time delay, std::function<void()> action) {
-    return schedule_at(now_ + delay, std::move(action));
+  template <typename F>
+    requires std::invocable<std::remove_cvref_t<F>&>
+  EventId schedule_in(Time delay, F&& action) {
+    return schedule_at(now_ + delay, std::forward<F>(action));
   }
+
+  // Cancels a pending event in O(1): the callable is destroyed now and
+  // will not fire. Returns false when `id` is no longer pending (already
+  // fired, already cancelled, or currently executing).
+  bool cancel(EventId id) { return events_.cancel(id); }
 
   // Runs until the pending-event set is empty or stop() is called.
   void run() {
@@ -57,12 +75,19 @@ class Simulator {
 
   std::uint64_t events_processed() const { return processed_; }
   std::size_t events_pending() const { return events_.size(); }
+  std::uint64_t events_cancelled() const { return events_.cancelled(); }
+
+  // Event-arena statistics (perf-regression harness, DESIGN.md §9):
+  // callables too large for a slot's inline buffer fall back to the heap;
+  // the hot path is expected to keep that count at zero.
+  std::uint64_t event_heap_fallbacks() const { return events_.heap_fallbacks(); }
+  std::size_t event_arena_slots() const { return events_.arena_capacity(); }
 
  private:
   void step() {
-    auto action = events_.pop(now_);
+    FiredEvent event = events_.pop(now_);
     ++processed_;
-    action();
+    event();
   }
 
   EventQueue events_;

@@ -46,12 +46,16 @@ void FlowReceiver::send_ack(std::uint8_t queue, bool ece) {
   }
   ++acks_sent_;
   ack_pending_ = false;
-  ++ack_timer_generation_;  // cancels any outstanding delayed-ACK timer
+  if (ack_timer_event_ != sim::kNoEvent) {
+    sim_.cancel(ack_timer_event_);  // the ACK is going out now
+    ack_timer_event_ = sim::kNoEvent;
+  }
   host_.send(std::move(ack));
 }
 
-void FlowReceiver::delayed_ack_timer_fired(std::uint64_t generation) {
-  if (generation != ack_timer_generation_ || !ack_pending_) return;
+void FlowReceiver::delayed_ack_timer_fired() {
+  ack_timer_event_ = sim::kNoEvent;
+  if (!ack_pending_) return;
   send_ack(pending_queue_, /*ece=*/false);
 }
 
@@ -72,9 +76,8 @@ void FlowReceiver::on_data(const net::Packet& data) {
   } else {
     ack_pending_ = true;
     pending_queue_ = data.queue;
-    const auto generation = ++ack_timer_generation_;
-    sim_.schedule_in(params_.delayed_ack_timeout,
-                     [this, generation] { delayed_ack_timer_fired(generation); });
+    ack_timer_event_ =
+        sim_.schedule_in(params_.delayed_ack_timeout, [this] { delayed_ack_timer_fired(); });
   }
 
   if (!complete_ && !params_.unbounded() &&

@@ -36,7 +36,7 @@ class FlowReceiver {
  private:
   void insert_segment(std::uint64_t seq, std::uint64_t end);
   void send_ack(std::uint8_t queue, bool ece);
-  void delayed_ack_timer_fired(std::uint64_t generation);
+  void delayed_ack_timer_fired();
 
   sim::Simulator& sim_;
   net::Host& host_;
@@ -47,10 +47,11 @@ class FlowReceiver {
   Time completion_time_ = 0;
   std::uint64_t acks_sent_ = 0;
 
-  // Delayed-ACK state: at most one segment may be unacknowledged.
+  // Delayed-ACK state: at most one segment may be unacknowledged. The
+  // pending timer event is cancelled outright when the ACK goes out early.
   bool ack_pending_ = false;
   std::uint8_t pending_queue_ = 0;
-  std::uint64_t ack_timer_generation_ = 0;
+  sim::EventId ack_timer_event_ = sim::kNoEvent;
 };
 
 }  // namespace dynaq::transport

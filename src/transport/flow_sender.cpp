@@ -348,20 +348,28 @@ void FlowSender::handle_timeout() {
 void FlowSender::arm_timer(Time deadline) {
   timer_active_ = true;
   timer_deadline_ = deadline;
-  if (timer_event_pending_ && timer_event_time_ <= deadline) {
-    // The pending event fires first; it will re-arm for the new deadline.
-    return;
+  if (timer_event_ != sim::kNoEvent) {
+    if (timer_event_time_ <= deadline) {
+      // The pending event fires first; it will re-arm for the new deadline.
+      return;
+    }
+    // The deadline moved earlier: the pending event is now too late.
+    sim_.cancel(timer_event_);
   }
-  ++timer_generation_;
-  timer_event_pending_ = true;
   timer_event_time_ = deadline;
-  sim_.schedule_at(deadline, [this, gen = timer_generation_] { timer_fired(gen); });
+  timer_event_ = sim_.schedule_at(deadline, [this] { timer_fired(); });
 }
 
-void FlowSender::timer_fired(std::uint64_t generation) {
-  if (generation != timer_generation_) return;  // superseded
-  timer_event_pending_ = false;
-  if (!timer_active_) return;
+void FlowSender::cancel_timer() {
+  timer_active_ = false;
+  if (timer_event_ != sim::kNoEvent) {
+    sim_.cancel(timer_event_);
+    timer_event_ = sim::kNoEvent;
+  }
+}
+
+void FlowSender::timer_fired() {
+  timer_event_ = sim::kNoEvent;
   if (sim_.now() < timer_deadline_) {
     arm_timer(timer_deadline_);  // deadline was pushed out; sleep again
     return;

@@ -71,9 +71,12 @@ class FlowSender {
   void sack_recovery_send();
 
   // Lazy retransmission timer (at most one live event per RTO period).
+  // Pushing the deadline out keeps the pending event (it re-arms when it
+  // fires); pulling it in or disarming cancels the event via
+  // Simulator::cancel, so no dead closure ever reaches the event loop.
   void arm_timer(Time deadline);
-  void cancel_timer() { timer_active_ = false; }
-  void timer_fired(std::uint64_t generation);
+  void cancel_timer();
+  void timer_fired();
 
   sim::Simulator& sim_;
   net::Host& host_;
@@ -110,12 +113,13 @@ class FlowSender {
   Time probe_sent_at_ = 0;
   bool probe_armed_ = false;
 
-  // Timer bookkeeping.
+  // Timer bookkeeping. timer_event_ is the pending simulator event (or
+  // kNoEvent); timer_event_time_ is when it fires, which may be earlier
+  // than timer_deadline_ after the deadline was pushed out.
   bool timer_active_ = false;
   Time timer_deadline_ = 0;
-  bool timer_event_pending_ = false;
+  sim::EventId timer_event_ = sim::kNoEvent;
   Time timer_event_time_ = 0;
-  std::uint64_t timer_generation_ = 0;
 
   SenderStats stats_;
 };

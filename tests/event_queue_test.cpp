@@ -1,0 +1,285 @@
+// Contract tests for the calendar-queue event engine (DESIGN.md §9):
+// strict (when, seq) pop order across rebuilds and window jumps, O(1)
+// cancellation semantics, inline-vs-heap callable storage, and a
+// differential fuzz against a reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dynaq {
+namespace {
+
+// ------------------------------------------------------------- EventFn --
+
+TEST(EventFn, SmallCallableStaysInline) {
+  int hits = 0;
+  sim::EventFn fn([&hits] { ++hits; });
+  ASSERT_TRUE(bool(fn));
+  EXPECT_FALSE(fn.on_heap());
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, OversizedCallableFallsBackToHeap) {
+  std::array<std::uint64_t, 32> big{};  // 256 B > inline capacity
+  big[0] = 41;
+  std::uint64_t seen = 0;
+  sim::EventFn fn([big, &seen] { seen = big[0] + 1; });
+  EXPECT_TRUE(fn.on_heap());
+  fn();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  int hits = 0;
+  sim::EventFn a([&hits] { ++hits; });
+  sim::EventFn b(std::move(a));
+  EXPECT_FALSE(bool(a));  // NOLINT(bugprone-use-after-move): moved-from state is specified
+  ASSERT_TRUE(bool(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, DestroysCapturesExactlyOnce) {
+  struct Probe {
+    int* dtors;
+    explicit Probe(int* d) : dtors(d) {}
+    Probe(Probe&& o) noexcept : dtors(o.dtors) { o.dtors = nullptr; }
+    Probe(const Probe&) = delete;
+    ~Probe() {
+      if (dtors != nullptr) ++*dtors;
+    }
+  };
+  int dtors = 0;
+  {
+    sim::EventFn fn([p = Probe(&dtors)] { (void)p; });
+    sim::EventFn moved(std::move(fn));
+    EXPECT_EQ(dtors, 0);
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+// ---------------------------------------------------- ordering contract --
+
+// Pops every remaining event and returns the observed (when, tag) pairs.
+std::vector<std::pair<Time, int>> drain(sim::EventQueue& q, std::vector<int>& fired) {
+  std::vector<std::pair<Time, int>> order;
+  Time now = 0;
+  while (!q.empty()) {
+    fired.clear();
+    auto ev = q.pop(now);
+    ev();
+    order.emplace_back(now, fired.empty() ? -1 : fired.front());
+  }
+  return order;
+}
+
+TEST(EventQueue, SameTimestampFifoSurvivesRebuild) {
+  sim::EventQueue q;
+  std::vector<int> fired;
+  const Time when = microseconds(std::int64_t{5});
+  // Push enough to force several capacity rebuilds (size > 2 * buckets),
+  // all at one timestamp plus padding around it.
+  const int kTies = 500;
+  for (int i = 0; i < kTies; ++i) {
+    q.push(when, [i, &fired] { fired.push_back(i); });
+    q.push(when + microseconds(std::int64_t{1}) * (i + 1),
+           [&fired] { fired.push_back(-2); });
+  }
+  Time now = 0;
+  for (int i = 0; i < kTies; ++i) {
+    fired.clear();
+    auto ev = q.pop(now);
+    ev();
+    ASSERT_EQ(now, when);
+    ASSERT_EQ(fired, std::vector<int>{i}) << "tie " << i << " popped out of order";
+  }
+}
+
+TEST(EventQueue, WideTimeRangeStaysSorted) {
+  // Spread events across 12 orders of magnitude so they traverse the
+  // staged front, the ring, and the overflow region (window jumps).
+  sim::EventQueue q;
+  std::mt19937_64 rng(7);
+  std::vector<Time> times;
+  for (int i = 0; i < 2000; ++i) {
+    const int mag = static_cast<int>(rng() % 12);
+    Time t = 1;
+    for (int m = 0; m < mag; ++m) t *= 10;
+    times.push_back(static_cast<Time>(rng() % static_cast<std::uint64_t>(t)) + 1);
+  }
+  std::vector<int> fired;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    q.push(times[i], [i, &fired] { fired.push_back(static_cast<int>(i)); });
+  }
+  auto order = drain(q, fired);
+  ASSERT_EQ(order.size(), times.size());
+  std::vector<Time> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(order[i].first, sorted[i]) << "pop " << i << " out of time order";
+  }
+}
+
+// --------------------------------------------------------- cancellation --
+
+TEST(EventQueue, CancelPendingEventNeverFires) {
+  sim::EventQueue q;
+  bool fired = false;
+  const sim::EventId id = q.push(nanoseconds(10), [&fired] { fired = true; });
+  q.push(nanoseconds(20), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  std::vector<int> sink;
+  drain(q, sink);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.cancelled(), 1u);
+}
+
+TEST(EventQueue, CancelReturnsFalseForFiredAndDoubleCancel) {
+  sim::EventQueue q;
+  const sim::EventId a = q.push(nanoseconds(1), [] {});
+  const sim::EventId b = q.push(nanoseconds(2), [] {});
+  Time now = 0;
+  q.pop(now)();
+  EXPECT_FALSE(q.cancel(a)) << "already fired";
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_FALSE(q.cancel(b)) << "double cancel";
+  EXPECT_FALSE(q.cancel(sim::kNoEvent));
+}
+
+TEST(EventQueue, CancelIsSlotReuseSafe) {
+  // After a slot is recycled, the old id's generation is stale: cancelling
+  // it must not kill the slot's new occupant.
+  sim::EventQueue q;
+  const sim::EventId old_id = q.push(nanoseconds(1), [] {});
+  ASSERT_TRUE(q.cancel(old_id));
+  bool fired = false;
+  q.push(nanoseconds(2), [&fired] { fired = true; });  // reuses the slot
+  EXPECT_FALSE(q.cancel(old_id)) << "stale id must not cancel the new occupant";
+  std::vector<int> sink;
+  drain(q, sink);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelSkipsEventAndCountsIt) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(nanoseconds(10), [&] { order.push_back(1); });
+  const sim::EventId id = sim.schedule_at(nanoseconds(20), [&] { order.push_back(2); });
+  sim.schedule_at(nanoseconds(30), [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, SelfCancelDuringExecutionIsNoOp) {
+  // begin_fire retires the id before the callable runs, so an event that
+  // tries to cancel itself (via a captured id) gets `false`.
+  sim::Simulator sim;
+  sim::EventId self = sim::kNoEvent;
+  bool cancelled_self = true;
+  self = sim.schedule_at(nanoseconds(5), [&] { cancelled_self = sim.cancel(self); });
+  sim.run();
+  EXPECT_FALSE(cancelled_self);
+}
+
+TEST(Simulator, CancelWhileRunning) {
+  // A running event cancels another event that is already past skim()
+  // staging: the stale entry must be skipped at pop time, not fired.
+  sim::Simulator sim;
+  bool later_fired = false;
+  const sim::EventId later =
+      sim.schedule_at(nanoseconds(7), [&later_fired] { later_fired = true; });
+  bool cancel_ok = false;
+  sim.schedule_at(nanoseconds(6), [&] { cancel_ok = sim.cancel(later); });
+  sim.run();
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_FALSE(later_fired);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+// ------------------------------------------------------------ fuzzing --
+
+struct RefEntry {
+  Time when;
+  std::uint64_t seq;
+  sim::EventId id;
+};
+
+// Differential fuzz against a reference model: random interleavings of
+// push / pop / cancel (with same-timestamp bursts and far-future pushes
+// that exercise the overflow window) must pop in exact (when, seq) order.
+TEST(EventQueue, FuzzMatchesReferenceModel) {
+  for (int round = 0; round < 60; ++round) {
+    std::mt19937_64 rng(round);
+    sim::EventQueue q;
+    std::vector<RefEntry> ref;
+    std::uint64_t seq = 0;
+    Time now = 0;
+    std::uint64_t fired_seq = 0;
+
+    auto push = [&](Time when) {
+      const std::uint64_t s = seq++;
+      const sim::EventId id = q.push(when, [s, &fired_seq] { fired_seq = s; });
+      ref.push_back({when, s, id});
+    };
+    auto ref_min = [&] {
+      return std::min_element(ref.begin(), ref.end(), [](const RefEntry& a, const RefEntry& b) {
+        if (a.when != b.when) return a.when < b.when;
+        return a.seq < b.seq;
+      });
+    };
+
+    const int ops = 1200;
+    for (int op = 0; op < ops || !ref.empty(); ++op) {
+      const int dice = static_cast<int>(rng() % 100);
+      if (op < ops && (ref.empty() || dice < 50)) {
+        Time when = now;
+        switch (rng() % 5) {
+          case 0: when += static_cast<Time>(rng() % 50); break;          // staged front
+          case 1: when += static_cast<Time>(rng() % 100'000); break;     // ring
+          case 2: when += static_cast<Time>(rng() % 100'000'000); break; // overflow
+          case 3: when += seconds(std::int64_t{1}); break;               // far future
+          default: break;                                                // exact tie
+        }
+        const int burst = (rng() % 16 == 0) ? static_cast<int>(1 + rng() % 6) : 1;
+        for (int b = 0; b < burst; ++b) push(when);
+      } else if (dice < 60 && !ref.empty()) {
+        // Cancel a random pending event.
+        const std::size_t victim = rng() % ref.size();
+        ASSERT_TRUE(q.cancel(ref[victim].id));
+        ASSERT_FALSE(q.cancel(ref[victim].id));
+        ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else if (!ref.empty()) {
+        const auto it = ref_min();
+        ASSERT_EQ(q.next_time(), it->when) << "round " << round << " op " << op;
+        Time popped = now;
+        auto ev = q.pop(popped);
+        ev();
+        ASSERT_EQ(popped, it->when) << "round " << round << " op " << op;
+        ASSERT_EQ(fired_seq, it->seq) << "round " << round << " op " << op;
+        now = popped;
+        ref.erase(it);
+      }
+      ASSERT_EQ(q.size(), ref.size());
+    }
+    ASSERT_TRUE(q.empty());
+    EXPECT_EQ(q.heap_fallbacks(), 0u) << "fuzz closures must stay inline";
+  }
+}
+
+}  // namespace
+}  // namespace dynaq

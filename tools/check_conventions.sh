@@ -20,6 +20,11 @@
 #      worker pool, DESIGN.md §7): simulators are single-threaded by design,
 #      so no other src/ directory may use std::thread/mutex/atomic — a sweep
 #      job parallelizes whole simulator instances, never their internals.
+#   9. Event scheduling is allocation-free (DESIGN.md §9): the engine
+#      (src/sim) stores callables in sim::EventFn inline slots, so no
+#      std::function may appear inside src/sim, and no caller may wrap a
+#      schedule_at/schedule_in callable in std::function (the type-erased
+#      indirection defeats the inline-storage fast path).
 #   8. Instrumentation goes through telemetry::Hub (DESIGN.md §8): no
 #      ad-hoc per-port callback mutation. The last-writer-wins Port
 #      callbacks (on_transmit_start/on_deliver) were replaced by the hub's
@@ -108,6 +113,21 @@ hits=$(grep -rnE '\.?on_(dequeue_hook|drop_hook|op_hook)\s*=' src/ \
 if [[ -n "$hits" ]]; then
   complain "telemetry-hub-instrumentation" \
     "library code must observe via telemetry::Hub, not qdisc measurement hooks:" "$hits"
+fi
+
+# -- 9. allocation-free event scheduling (DESIGN.md §9) ----------------------
+hits=$(grep -rnE 'std::function' src/sim/ | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "eventfn-not-stdfunction" \
+    "the event engine stores callables in sim::EventFn inline slots; src/sim must not use std::function:" \
+    "$hits"
+fi
+hits=$(grep -rnE 'schedule_(at|in)[^;]*std::function' src/ bench/ examples/ tests/ \
+  | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "eventfn-not-stdfunction" \
+    "pass lambdas/functors to schedule_at/schedule_in directly (std::function defeats inline event storage):" \
+    "$hits"
 fi
 
 # -- 6. pragma once in headers ----------------------------------------------

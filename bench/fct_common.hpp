@@ -101,7 +101,9 @@ inline sweep::JobResult run_fct_job(const FctSweepConfig& sweep,
   cfg.first_service_queue = 1;
   cfg.seed = static_cast<std::uint64_t>(point.number("seed"));
   auto r = harness::run_dynamic_star_experiment(cfg);
-  return sweep::JobResult{fct_metrics(r), std::move(r.telemetry)};
+  sweep::JobResult job{fct_metrics(r), std::move(r.telemetry)};
+  job.trajectory_hash = r.trajectory_hash;
+  return job;
 }
 
 // Runs the whole grid through the sweep engine (--jobs/--strict/--json...,

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# CI entry point: three configurations, all deterministic (every experiment
+# CI entry point: four configurations, all deterministic (every experiment
 # binary and test is seeded; see CLAUDE.md).
 #
 #   1. RelWithDebInfo with -Werror           (the performance configuration)
+#      + trajectory-hash differential gate   (DESIGN.md §10)
 #   2. Debug with ASan+UBSan, full ctest     (the memory/UB configuration)
-#   3. Convention lint (+ clang-tidy when available)
+#   3. TSan on the sweep worker pool         (the data-race configuration)
+#   4. Convention + determinism lint (+ clang-tidy when available)
 #
-# Usage: ./ci.sh [--skip-asan]   # ASan pass doubles the wall time
+# Usage: ./ci.sh [--skip-asan] [--skip-tsan]   # sanitizer passes add wall time
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs=$(nproc 2>/dev/null || echo 2)
 skip_asan=0
+skip_tsan=0
 for arg in "$@"; do
   [[ "$arg" == "--skip-asan" ]] && skip_asan=1
+  [[ "$arg" == "--skip-tsan" ]] && skip_tsan=1
 done
 
 # Smoke sweep (2 schemes x 2 seeds, --jobs 2, --strict): exercises the
@@ -28,34 +32,53 @@ smoke_sweep() {  # smoke_sweep <build-dir> [extra flags...]
       --loads=0.5 --flows=200 --jobs=2 --strict "$@" > /dev/null
 }
 
-echo "==> [1/3] RelWithDebInfo + -Werror"
+echo "==> [1/4] RelWithDebInfo + -Werror"
 cmake -B build-ci -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDYNAQ_WERROR=ON > /dev/null
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci -j "$jobs" --output-on-failure
-echo "==> [1/3] smoke sweep -> BENCH_sweep.json"
+echo "==> [1/4] smoke sweep -> BENCH_sweep.json"
 smoke_sweep build-ci --bench-json BENCH_sweep.json
-echo "==> [1/3] telemetry fast-path budget (micro_telemetry)"
+echo "==> [1/4] telemetry fast-path budget (micro_telemetry)"
 # Disabled-hub overhead must stay a single guarded branch (DESIGN.md §8);
 # the budget is generous vs. the ~1ns branch cost to keep CI noise-proof.
 build-ci/bench/micro_telemetry --ops=300000 --reps=3 --assert-budget-ns=25
-echo "==> [1/3] event-engine perf regression (micro_simulator) -> BENCH_core.json"
+echo "==> [1/4] event-engine perf regression (micro_simulator) -> BENCH_core.json"
 # Soft ns/event budgets plus a hard zero-heap-fallback gate (DESIGN.md §9);
 # the JSON snapshot is the committed perf trajectory, like BENCH_sweep.json.
 build-ci/bench/micro_simulator --reps=5 --assert-budget --json BENCH_core.json
+echo "==> [1/4] trajectory-hash differential gate (DESIGN.md §10)"
+# Same seed twice and --jobs 1 vs 4 must hash identically; different seeds
+# must diverge. Catches nondeterminism the unit tests' small runs may miss.
+tools/check_determinism.sh build-ci
 
 if [[ $skip_asan -eq 0 ]]; then
-  echo "==> [2/3] ASan+UBSan ctest"
+  echo "==> [2/4] ASan+UBSan ctest"
   cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDYNAQ_WERROR=ON \
         "-DDYNAQ_SANITIZE=address;undefined" > /dev/null
   cmake --build build-asan -j "$jobs"
   ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan -j "$jobs" --output-on-failure
-  echo "==> [2/3] ASan+UBSan smoke sweep (--jobs 2)"
+  echo "==> [2/4] ASan+UBSan smoke sweep (--jobs 2)"
   ASAN_OPTIONS=detect_leaks=1 smoke_sweep build-asan --json build-asan
 else
-  echo "==> [2/3] ASan+UBSan ctest (skipped)"
+  echo "==> [2/4] ASan+UBSan ctest (skipped)"
 fi
 
-echo "==> [3/3] convention lint"
+if [[ $skip_tsan -eq 0 ]]; then
+  echo "==> [3/4] TSan sweep worker pool"
+  # Threads live only in src/sweep (CLAUDE.md), so TSan needs just the sweep
+  # tests and one sweep-driving bench — build those targets, not the world.
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=Debug -DDYNAQ_WERROR=ON \
+        "-DDYNAQ_SANITIZE=thread" > /dev/null
+  cmake --build build-tsan -j "$jobs" --target sweep_test fig08_fct_non_ecn
+  TSAN_OPTIONS=halt_on_error=1 build-tsan/tests/sweep_test
+  echo "==> [3/4] TSan smoke sweep (--jobs 4)"
+  TSAN_OPTIONS=halt_on_error=1 smoke_sweep build-tsan --jobs=4 --json build-tsan
+else
+  echo "==> [3/4] TSan sweep worker pool (skipped)"
+fi
+
+echo "==> [4/4] convention + determinism lint"
+tools/detlint --self-test
 tools/check_conventions.sh
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake -B build-ci -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null

@@ -1,0 +1,23 @@
+#include "check/trajectory_hash.hpp"
+
+namespace dynaq::check {
+
+TrajectoryHash& TrajectoryHash::fold(const AuditLedger& ledger) {
+  fold(ledger.enqueued_packets).fold(ledger.dequeued_packets);
+  fold(static_cast<std::uint64_t>(ledger.enqueued_bytes));
+  fold(static_cast<std::uint64_t>(ledger.dequeued_bytes));
+  fold(ledger.admits_allowed).fold(ledger.admits_rejected).fold(ledger.aborts);
+  return *this;
+}
+
+std::string TrajectoryHash::fingerprint_hex(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x0000000000000000";
+  for (std::size_t i = 17; i >= 2; --i) {
+    out[i] = kDigits[v & 0xfu];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace dynaq::check

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/invariant_auditor.hpp"
+#include "check/trajectory_hash.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "transport/host_agent.hpp"
@@ -9,6 +11,15 @@
 
 namespace dynaq::harness {
 namespace {
+
+// Folds one qdisc's audit ledger when the port runs under the auditor —
+// part of the per-run trajectory hash (DESIGN.md §10).
+void fold_ledger(check::TrajectoryHash& th, const net::MultiQueueQdisc& qdisc) {
+  if (const auto* audited =
+          dynamic_cast<const check::AuditedBufferPolicy*>(&qdisc.policy())) {
+    th.fold(audited->ledger());
+  }
+}
 
 // Wires one finite request flow (sender at src, receiver at dst) and
 // records its completion into `result`.
@@ -34,6 +45,7 @@ DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& con
   }
 
   sim::Simulator sim;
+  sim.enable_trajectory_fingerprint(config.fingerprint_trajectory);
   sim::Rng rng(config.seed);
   topo::StarConfig star_config = config.star;
   star_config.scheme.audit = star_config.scheme.audit || config.audit_invariants;
@@ -46,8 +58,9 @@ DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& con
   DynamicExperimentResult result;
   std::size_t outstanding = config.num_flows;
 
-  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry,
-                           .ring_capacity = config.telemetry_ring});
+  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry || config.fingerprint_trajectory,
+                           .ring_capacity = config.telemetry_ring,
+                           .fingerprint = config.fingerprint_trajectory});
   if (hub.enabled()) {
     topo.port_qdisc(config.client_host)
         .attach_telemetry(hub, "sw.p" + std::to_string(config.client_host));
@@ -94,10 +107,16 @@ DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& con
   result.drops = topo.port_qdisc(config.client_host).stats().dropped;
   result.marks = topo.port_qdisc(config.client_host).stats().marked;
   result.bottleneck = topo.port_qdisc(config.client_host).stats();
-  if (hub.enabled()) {
+  if (config.collect_telemetry) {
     result.telemetry = hub.summary();
     result.telemetry_events = hub.ring_events();
     result.telemetry_ports = hub.port_names();
+  }
+  if (config.fingerprint_trajectory) {
+    check::TrajectoryHash th;
+    th.fold(sim).fold(hub);
+    for (int i = 0; i < topo.num_hosts(); ++i) fold_ledger(th, topo.port_qdisc(i));
+    result.trajectory_hash = th.value();
   }
   return result;
 }
@@ -111,6 +130,7 @@ DynamicExperimentResult run_dynamic_leaf_spine_experiment(
   }
 
   sim::Simulator sim;
+  sim.enable_trajectory_fingerprint(config.fingerprint_trajectory);
   sim::Rng rng(config.seed);
   topo::LeafSpineConfig fabric_config = config.fabric;
   fabric_config.scheme.audit = fabric_config.scheme.audit || config.audit_invariants;
@@ -124,8 +144,9 @@ DynamicExperimentResult run_dynamic_leaf_spine_experiment(
   DynamicExperimentResult result;
   std::size_t outstanding = config.num_flows;
 
-  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry,
-                           .ring_capacity = config.telemetry_ring});
+  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry || config.fingerprint_trajectory,
+                           .ring_capacity = config.telemetry_ring,
+                           .fingerprint = config.fingerprint_trajectory});
   if (hub.enabled()) {
     const auto& qdiscs = topo.all_qdiscs();
     for (std::size_t i = 0; i < qdiscs.size(); ++i) {
@@ -188,10 +209,18 @@ DynamicExperimentResult run_dynamic_leaf_spine_experiment(
     result.drops += q->stats().dropped;
     result.marks += q->stats().marked;
   }
-  if (hub.enabled()) {
+  if (config.collect_telemetry) {
     result.telemetry = hub.summary();
     result.telemetry_events = hub.ring_events();
     result.telemetry_ports = hub.port_names();
+  }
+  if (config.fingerprint_trajectory) {
+    check::TrajectoryHash th;
+    th.fold(sim).fold(hub);
+    // all_qdiscs() enumerates ports in a construction-fixed order, so the
+    // ledger fold order is identical across same-seed runs.
+    for (const net::MultiQueueQdisc* q : topo.all_qdiscs()) fold_ledger(th, *q);
+    result.trajectory_hash = th.value();
   }
   return result;
 }

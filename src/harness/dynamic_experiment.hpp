@@ -47,6 +47,8 @@ struct DynamicStarConfig {
   // Telemetry hub attachment (DESIGN.md §8); see StaticExperimentConfig.
   bool collect_telemetry = true;
   std::size_t telemetry_ring = 4096;
+  // Trajectory-fingerprint oracle (DESIGN.md §10); see StaticExperimentConfig.
+  bool fingerprint_trajectory = true;
 };
 
 struct DynamicExperimentResult {
@@ -59,6 +61,7 @@ struct DynamicExperimentResult {
   telemetry::TelemetrySummary telemetry;           // empty when collection is off
   std::vector<telemetry::Event> telemetry_events;  // tail of the event ring
   std::vector<std::string> telemetry_ports;        // observation-point names
+  std::uint64_t trajectory_hash = 0;  // 0 when fingerprint_trajectory is off
 };
 
 DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& config);
@@ -84,6 +87,7 @@ struct DynamicLeafSpineConfig {
   bool audit_invariants = true;  // see DynamicStarConfig
   bool collect_telemetry = true;  // see DynamicStarConfig
   std::size_t telemetry_ring = 4096;
+  bool fingerprint_trajectory = true;  // see DynamicStarConfig
 };
 
 DynamicExperimentResult run_dynamic_leaf_spine_experiment(const DynamicLeafSpineConfig& config);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/invariant_auditor.hpp"
+#include "check/trajectory_hash.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "transport/host_agent.hpp"
@@ -10,6 +12,7 @@ namespace dynaq::harness {
 
 StaticExperimentResult run_static_experiment(const StaticExperimentConfig& config) {
   sim::Simulator sim;
+  sim.enable_trajectory_fingerprint(config.fingerprint_trajectory);
   sim::Rng rng(config.seed);
   topo::StarConfig star_config = config.star;
   star_config.scheme.audit = star_config.scheme.audit || config.audit_invariants;
@@ -26,8 +29,10 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
 
   // One hub per simulator (DESIGN.md §8): the bottleneck switch port and
   // every host NIC report into it; queue_samples ride the hub's series.
-  telemetry::Hub hub(sim, {.enabled = config.collect_telemetry || config.queue_samples > 0,
-                           .ring_capacity = config.telemetry_ring});
+  const bool collect = config.collect_telemetry || config.queue_samples > 0;
+  telemetry::Hub hub(sim, {.enabled = collect || config.fingerprint_trajectory,
+                           .ring_capacity = config.telemetry_ring,
+                           .fingerprint = config.fingerprint_trajectory});
   if (hub.enabled()) {
     bottleneck.attach_telemetry(hub, "sw.p" + std::to_string(config.receiver_host));
     for (int i = 0; i < topo.num_hosts(); ++i) {
@@ -83,10 +88,23 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
   result.queue_samples = hub.queue_samples();
   result.bottleneck_stats = bottleneck.stats();
   result.events = sim.events_processed();
-  if (hub.enabled()) {
+  if (collect) {
     result.telemetry = hub.summary();
     result.telemetry_events = hub.ring_events();
     result.telemetry_ports = hub.port_names();
+  }
+  if (config.fingerprint_trajectory) {
+    check::TrajectoryHash th;
+    th.fold(sim).fold(hub);
+    // Audit ledgers in ascending port index: a fixed fold order so equal
+    // trajectories hash equal regardless of construction details.
+    for (int i = 0; i < topo.num_hosts(); ++i) {
+      if (const auto* audited = dynamic_cast<const check::AuditedBufferPolicy*>(
+              &topo.port_qdisc(i).policy())) {
+        th.fold(audited->ledger());
+      }
+    }
+    result.trajectory_hash = th.value();
   }
   return result;
 }

@@ -58,6 +58,10 @@ struct StaticExperimentConfig {
   // histograms, and the queue_samples time series all flow through it.
   bool collect_telemetry = true;
   std::size_t telemetry_ring = 4096;  // newest events kept in the result
+  // Fold the run into a check::TrajectoryHash (DESIGN.md §10): event-engine
+  // pop stream + telemetry event bus + per-port audit ledgers. Equal seeds
+  // must yield equal hashes; ci.sh diffs them across repeat/jobs/seed runs.
+  bool fingerprint_trajectory = true;
 };
 
 struct StaticExperimentResult {
@@ -69,6 +73,7 @@ struct StaticExperimentResult {
   telemetry::TelemetrySummary telemetry;         // empty when collection is off
   std::vector<telemetry::Event> telemetry_events;  // tail of the event ring
   std::vector<std::string> telemetry_ports;        // observation-point names
+  std::uint64_t trajectory_hash = 0;  // 0 when fingerprint_trajectory is off
 };
 
 StaticExperimentResult run_static_experiment(const StaticExperimentConfig& config);

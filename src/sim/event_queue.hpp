@@ -157,15 +157,17 @@ class EventPool {
 
 // Move-only handle to a popped event: operator() invokes the callable in
 // place; the destructor recycles the slot (even if the callable threw).
-// Holds the resolved Slot* so firing touches the chunk table only once.
+// Holds the resolved Slot* so firing touches the chunk table only once,
+// and the event's schedule-order sequence number so the simulator can fold
+// the pop stream into a trajectory fingerprint (DESIGN.md §10).
 class [[nodiscard]] FiredEvent {
  public:
-  FiredEvent(EventPool& pool, std::uint32_t idx, EventPool::Slot& s)
-      : pool_(&pool), slot_(&s), idx_(idx) {}
+  FiredEvent(EventPool& pool, std::uint32_t idx, EventPool::Slot& s, std::uint64_t seq)
+      : pool_(&pool), slot_(&s), idx_(idx), seq_(seq) {}
   FiredEvent(const FiredEvent&) = delete;
   FiredEvent& operator=(const FiredEvent&) = delete;
   FiredEvent(FiredEvent&& other) noexcept
-      : pool_(other.pool_), slot_(other.slot_), idx_(other.idx_) {
+      : pool_(other.pool_), slot_(other.slot_), idx_(other.idx_), seq_(other.seq_) {
     other.pool_ = nullptr;
   }
   FiredEvent& operator=(FiredEvent&& other) noexcept {
@@ -174,6 +176,7 @@ class [[nodiscard]] FiredEvent {
       pool_ = other.pool_;
       slot_ = other.slot_;
       idx_ = other.idx_;
+      seq_ = other.seq_;
       other.pool_ = nullptr;
     }
     return *this;
@@ -186,10 +189,15 @@ class [[nodiscard]] FiredEvent {
   // then only recycles the slot (EventFn::reset on an empty fn is free).
   void operator()() { slot_->fn.consume(); }
 
+  // Global schedule-order sequence number of the popped event — with the
+  // pop timestamp this uniquely identifies the trajectory step.
+  std::uint64_t seq() const { return seq_; }
+
  private:
   EventPool* pool_;
   EventPool::Slot* slot_;
   std::uint32_t idx_;
+  std::uint64_t seq_;
 };
 
 // Calendar-style pending-event set. Events scheduled for the same
@@ -261,7 +269,7 @@ class EventQueue {
     compact_front();
     // Overlap the next event's slot fetch with this event's execution.
     if (front_head_ < front_.size()) pool_.prefetch(front_[front_head_].slot);
-    return FiredEvent{pool_, e.slot, s};
+    return FiredEvent{pool_, e.slot, s, e.seq};
   }
 
   // Engine statistics for the perf harness and tests.

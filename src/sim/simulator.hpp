@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/fingerprint.hpp"
 #include "sim/time.hpp"
 
 namespace dynaq::sim {
@@ -83,17 +84,31 @@ class Simulator {
   std::uint64_t event_heap_fallbacks() const { return events_.heap_fallbacks(); }
   std::size_t event_arena_slots() const { return events_.arena_capacity(); }
 
+  // Trajectory fingerprint (DESIGN.md §10): when enabled, every popped
+  // event folds (when, seq) into an FNV-1a digest — one guarded branch per
+  // pop, off by default so the event-engine perf budgets are unaffected.
+  // Observation only: enabling it never perturbs the simulation.
+  void enable_trajectory_fingerprint(bool on = true) { fingerprint_pops_ = on; }
+  bool trajectory_fingerprint_enabled() const { return fingerprint_pops_; }
+  std::uint64_t trajectory_fingerprint() const { return pop_fingerprint_; }
+
  private:
   void step() {
     FiredEvent event = events_.pop(now_);
     ++processed_;
+    if (fingerprint_pops_) {
+      pop_fingerprint_ =
+          fnv1a_u64(fnv1a_u64(pop_fingerprint_, static_cast<std::uint64_t>(now_)), event.seq());
+    }
     event();
   }
 
   EventQueue events_;
   Time now_ = 0;
   bool running_ = false;
+  bool fingerprint_pops_ = false;
   std::uint64_t processed_ = 0;
+  std::uint64_t pop_fingerprint_ = kFnv1aOffset;
 };
 
 }  // namespace dynaq::sim

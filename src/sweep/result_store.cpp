@@ -83,6 +83,15 @@ void write_telemetry(JsonWriter& json, const telemetry::TelemetrySummary& t) {
   json.end_object();
 }
 
+// Hashes are emitted as "0x" + 16 hex digits: a u64 does not survive a
+// round-trip through JSON numbers (doubles), and the ci.sh differential
+// gate greps for this exact canonical form.
+std::string hash_hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
 }  // namespace
 
 MetricAggregate aggregate_samples(std::vector<double> samples) {
@@ -144,7 +153,7 @@ std::string ResultStore::to_json(const JsonOptions& options,
   JsonWriter json;
   json.begin_object();
   json.key("schema_version");
-  json.value(2);
+  json.value(3);
   json.key("sweep");
   json.value(name_);
   json.key("mode");
@@ -187,6 +196,10 @@ std::string ResultStore::to_json(const JsonOptions& options,
       if (o.telemetry) {
         json.key("telemetry");
         write_telemetry(json, *o.telemetry);
+      }
+      if (o.trajectory_hash) {
+        json.key("trajectory_hash");
+        json.value(hash_hex(*o.trajectory_hash));
       }
     } else {
       json.key("timed_out");

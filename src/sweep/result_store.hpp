@@ -20,12 +20,17 @@ namespace dynaq::sweep {
 
 // What a job function hands back: scalar metrics, plus (optionally) the
 // experiment's TelemetrySummary so the sweep JSON carries per-job drop
-// reasons and queueing-delay percentiles (schema_version 2, DESIGN.md §7).
+// reasons and queueing-delay percentiles, plus (optionally) the run's
+// trajectory hash (DESIGN.md §10; schema_version 3, DESIGN.md §7).
 // Implicitly constructible from a bare metrics map so metrics-only job
 // functions keep working unchanged.
 struct JobResult {
   std::map<std::string, double> metrics;
   std::optional<telemetry::TelemetrySummary> telemetry;
+  // The experiment's check::TrajectoryHash value; hashes cannot ride
+  // `metrics` because JSON doubles lose u64 precision, so they are emitted
+  // as "0x…" hex strings instead.
+  std::optional<std::uint64_t> trajectory_hash;
 
   JobResult() = default;
   JobResult(std::map<std::string, double> m) : metrics(std::move(m)) {}
@@ -37,6 +42,7 @@ struct JobOutcome {
   JobPoint point;
   std::map<std::string, double> metrics;  // empty unless ok
   std::optional<telemetry::TelemetrySummary> telemetry;  // when the job returned one
+  std::optional<std::uint64_t> trajectory_hash;  // when the job returned one
   bool ok = false;
   bool timed_out = false;
   int attempts = 0;

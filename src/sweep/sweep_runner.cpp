@@ -125,6 +125,7 @@ ResultStore SweepRunner::run(std::string sweep_name, const SweepSpec& spec,
     out.ok = state->ok;
     out.metrics = std::move(state->result.metrics);
     out.telemetry = std::move(state->result.telemetry);
+    out.trajectory_hash = state->result.trajectory_hash;
     out.error = std::move(state->error);
     out.cpu_ms = state->cpu_ms;
     out.wall_ms = elapsed_ms(t0);

@@ -3,11 +3,15 @@
 #include <cstdio>
 #include <fstream>
 
+#include "sim/fingerprint.hpp"
+
 namespace dynaq::telemetry {
 
 Hub::Hub(sim::Simulator& sim, HubConfig config)
     : sim_(sim),
       enabled_(config.enabled),
+      fingerprint_events_(config.fingerprint),
+      fingerprint_(sim::kFnv1aOffset),
       ring_(config.ring_capacity),
       max_delay_queues_(config.max_delay_queues) {}
 
@@ -21,6 +25,23 @@ int Hub::register_port(const std::string& name) {
 
 void Hub::emit(Event e) {
   e.when = sim_.now();
+  if (fingerprint_events_) {
+    // Pack the discriminating fields into two u64 folds: the stamp, then
+    // (kind, reason, port, queue, other_queue) and (bytes, flow). Any
+    // nondeterministic drop victim, exchange partner or flow choice lands
+    // in the digest even when event timing happens to coincide.
+    const std::uint64_t tagged =
+        (static_cast<std::uint64_t>(static_cast<std::uint8_t>(e.kind)) << 56) |
+        (static_cast<std::uint64_t>(static_cast<std::uint8_t>(e.reason)) << 48) |
+        (static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.port)) << 32) |
+        (static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.queue)) << 16) |
+        static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.other_queue));
+    const std::uint64_t payload =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.bytes)) << 32) |
+        static_cast<std::uint64_t>(e.flow);
+    fingerprint_ = sim::fnv1a_u64(fingerprint_, static_cast<std::uint64_t>(e.when));
+    fingerprint_ = sim::fnv1a_u64(sim::fnv1a_u64(fingerprint_, tagged), payload);
+  }
   switch (e.kind) {
     case EventKind::kEnqueue:
       ++enqueues_;

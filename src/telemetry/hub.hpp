@@ -66,6 +66,11 @@ struct HubConfig {
   bool enabled = true;
   std::size_t ring_capacity = 4096;  // newest events kept; older overwritten
   std::size_t max_delay_queues = 64;  // per-queue delay histograms allocated lazily
+  // Fold every emitted event into an FNV-1a trajectory fingerprint
+  // (DESIGN.md §10): one guarded branch inside emit(), allocation-free.
+  // check::TrajectoryHash combines this with the engine's pop-stream digest
+  // and the audit ledgers into the per-run oracle hash.
+  bool fingerprint = false;
 };
 
 class Hub {
@@ -75,6 +80,11 @@ class Hub {
   sim::Simulator& simulator() { return sim_; }
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Event-bus half of the trajectory fingerprint (HubConfig::fingerprint):
+  // the FNV-1a digest of every event emitted so far, in emission order.
+  std::uint64_t trajectory_fingerprint() const { return fingerprint_; }
+  bool fingerprinting() const { return fingerprint_events_; }
 
   // ---- observation points -------------------------------------------------
   // Registers an observation point; idempotent per name (the same name maps
@@ -131,6 +141,8 @@ class Hub {
  private:
   sim::Simulator& sim_;
   bool enabled_;
+  bool fingerprint_events_;
+  std::uint64_t fingerprint_;
   std::vector<std::string> port_names_;
 
   std::vector<Event> ring_;

@@ -56,7 +56,12 @@ class HostAgent {
   }
 
   net::Host& host_;
+  // Audited for DESIGN.md §10: both maps are flow-id lookup tables consulted
+  // only via find() on packet arrival — never iterated — so their hash order
+  // cannot leak into the trajectory.
+  // detlint: allow(unordered-container): lookup-only by flow id, never iterated
   std::unordered_map<std::uint32_t, std::unique_ptr<FlowSender>> senders_;
+  // detlint: allow(unordered-container): lookup-only by flow id, never iterated
   std::unordered_map<std::uint32_t, std::unique_ptr<FlowReceiver>> receivers_;
   std::uint64_t stray_ = 0;
 };

@@ -6,9 +6,12 @@
 
 #include <string>
 
+#include "check/trajectory_hash.hpp"
 #include "harness/dynamic_experiment.hpp"
 #include "harness/static_experiment.hpp"
+#include "sim/simulator.hpp"
 #include "stats/fairness.hpp"
+#include "telemetry/hub.hpp"
 #include "workload/flow_size_distribution.hpp"
 
 namespace dynaq {
@@ -31,6 +34,8 @@ TEST(Determinism, DynamicStarIsBitIdentical) {
   }
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.drops, b.drops);
+  EXPECT_NE(a.trajectory_hash, 0u);
+  EXPECT_EQ(a.trajectory_hash, b.trajectory_hash);
 }
 
 TEST(Determinism, LeafSpineIsBitIdentical) {
@@ -48,6 +53,99 @@ TEST(Determinism, LeafSpineIsBitIdentical) {
     ASSERT_EQ(a.fcts.records()[i].finish, b.fcts.records()[i].finish);
   }
   EXPECT_EQ(a.events, b.events);
+  EXPECT_NE(a.trajectory_hash, 0u);
+  EXPECT_EQ(a.trajectory_hash, b.trajectory_hash);
+}
+
+// ------------------------------------- trajectory-fingerprint oracle --
+
+TEST(TrajectoryHash, SeedChangesTheHash) {
+  harness::DynamicStarConfig cfg;
+  cfg.star.num_hosts = 5;
+  cfg.star.queue_weights = {1, 1, 1, 1, 1};
+  cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
+  cfg.num_flows = 150;
+  cfg.load = 0.5;
+  cfg.dist = &workload::web_search_workload();
+  cfg.seed = 1;
+  const auto a = harness::run_dynamic_star_experiment(cfg);
+  cfg.seed = 2;
+  const auto b = harness::run_dynamic_star_experiment(cfg);
+  EXPECT_NE(a.trajectory_hash, 0u);
+  EXPECT_NE(b.trajectory_hash, 0u);
+  EXPECT_NE(a.trajectory_hash, b.trajectory_hash);
+}
+
+TEST(TrajectoryHash, StaticExperimentStableAndOptional) {
+  harness::StaticExperimentConfig cfg;
+  cfg.star.num_hosts = 5;
+  cfg.star.queue_weights = {1, 1};
+  cfg.groups = {
+      {.queue = 0, .num_flows = 2, .first_src_host = 1, .num_src_hosts = 2},
+      {.queue = 1, .num_flows = 2, .first_src_host = 3, .num_src_hosts = 2},
+  };
+  cfg.duration = milliseconds(std::int64_t{200});
+  cfg.seed = 7;
+  const auto a = harness::run_static_experiment(cfg);
+  const auto b = harness::run_static_experiment(cfg);
+  EXPECT_NE(a.trajectory_hash, 0u);
+  EXPECT_EQ(a.trajectory_hash, b.trajectory_hash);
+
+  cfg.fingerprint_trajectory = false;
+  const auto off = harness::run_static_experiment(cfg);
+  EXPECT_EQ(off.trajectory_hash, 0u);
+  // Opting out of the oracle must not change the trajectory itself.
+  EXPECT_EQ(off.events, a.events);
+}
+
+// Two trajectories with identical event timing but a different packet-level
+// decision — the signature of a nondeterministic buffer policy (e.g. one
+// picking its drop victim by iterating an unordered_map). The pop-stream
+// digest alone cannot separate them; the hub's event digest must.
+TEST(TrajectoryHash, CapturesDecisionDivergence) {
+  const auto run = [](std::int16_t victim) {
+    sim::Simulator sim;
+    sim.enable_trajectory_fingerprint();
+    telemetry::Hub hub(sim, {.fingerprint = true});
+    hub.register_port("sw.p0");
+    sim.schedule_at(microseconds(std::int64_t{10}), [&hub, victim] {
+      hub.emit({.kind = telemetry::EventKind::kDrop,
+                .reason = telemetry::DropReason::kThreshold,
+                .port = 0,
+                .queue = 1,
+                .other_queue = victim,
+                .bytes = 1500,
+                .flow = 42});
+    });
+    sim.run_until(milliseconds(std::int64_t{1}));
+    check::TrajectoryHash th;
+    th.fold(sim).fold(hub);
+    return th.value();
+  };
+  EXPECT_EQ(run(2), run(2));
+  EXPECT_NE(run(2), run(3));
+}
+
+TEST(TrajectoryHash, PopStreamSeesEventTiming) {
+  const auto run = [](Time when) {
+    sim::Simulator sim;
+    sim.enable_trajectory_fingerprint();
+    int fired = 0;
+    sim.schedule_at(when, [&fired] { ++fired; });
+    sim.run_until(milliseconds(std::int64_t{1}));
+    EXPECT_EQ(fired, 1);
+    return sim.trajectory_fingerprint();
+  };
+  EXPECT_EQ(run(microseconds(std::int64_t{5})), run(microseconds(std::int64_t{5})));
+  EXPECT_NE(run(microseconds(std::int64_t{5})), run(microseconds(std::int64_t{6})));
+}
+
+TEST(TrajectoryHash, HexIsCanonical) {
+  EXPECT_EQ(check::TrajectoryHash::fingerprint_hex(0), "0x0000000000000000");
+  EXPECT_EQ(check::TrajectoryHash::fingerprint_hex(0xdeadbeefcafe0123ull),
+            "0xdeadbeefcafe0123");
+  check::TrajectoryHash th;
+  EXPECT_EQ(th.hex(), check::TrajectoryHash::fingerprint_hex(th.value()));
 }
 
 // ----------------------------------- scheme x scheduler x cc sweep --

@@ -112,6 +112,44 @@ TEST(SweepRunner, TwelveJobSweepJsonBytesIdenticalForAnyWorkerCount) {
   EXPECT_FALSE(slurp(p1).empty());
 }
 
+TEST(SweepRunner, TrajectoryHashesRideJobResultsForAnyWorkerCount) {
+  const auto spec = scheme_load_seed_grid();
+  // Pseudo-experiment returning a per-point trajectory hash, like
+  // bench/fct_common.hpp's run_fct_job does with the harness oracle value.
+  const auto job = [](const JobPoint& p) {
+    std::this_thread::sleep_for(std::chrono::milliseconds((p.job_id * 5) % 11));
+    sweep::JobResult r{fake_job(p)};
+    r.trajectory_hash = 0x1000u + p.job_id;
+    return r;
+  };
+  const auto store1 = SweepRunner(RunnerOptions{.jobs = 1}).run("hashes", spec, job);
+  const auto store4 = SweepRunner(RunnerOptions{.jobs = 4}).run("hashes", spec, job);
+  ASSERT_TRUE(store1.all_ok());
+  ASSERT_TRUE(store4.all_ok());
+  for (std::size_t i = 0; i < store1.outcomes().size(); ++i) {
+    ASSERT_TRUE(store1.outcome(i).trajectory_hash.has_value());
+    EXPECT_EQ(store1.outcome(i).trajectory_hash, store4.outcome(i).trajectory_hash);
+    EXPECT_EQ(*store1.outcome(i).trajectory_hash, 0x1000u + i);
+  }
+
+  // schema_version 3: per-job "trajectory_hash" as a canonical hex string
+  // (u64 values do not survive JSON doubles), byte-identical across --jobs.
+  const sweep::JsonOptions no_perf{.include_perf = false};
+  const std::string json = store1.to_json(no_perf);
+  EXPECT_EQ(json, store4.to_json(no_perf));
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"trajectory_hash\":\"0x0000000000001000\""), std::string::npos);
+  EXPECT_NE(json.find("\"trajectory_hash\":\"0x000000000000100b\""), std::string::npos);
+}
+
+TEST(ResultStore, OmitsTrajectoryHashWhenJobsDoNotReportOne) {
+  const auto spec = scheme_load_seed_grid();
+  const auto store = SweepRunner(RunnerOptions{.jobs = 2}).run("nohash", spec, fake_job);
+  ASSERT_TRUE(store.all_ok());
+  for (const auto& o : store.outcomes()) EXPECT_FALSE(o.trajectory_hash.has_value());
+  EXPECT_EQ(store.to_json().find("trajectory_hash"), std::string::npos);
+}
+
 // -------------------------------------------------- fault isolation --
 
 TEST(SweepRunner, AuditErrorInOneJobDoesNotAbortSiblings) {

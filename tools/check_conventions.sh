@@ -25,6 +25,9 @@
 #      std::function may appear inside src/sim, and no caller may wrap a
 #      schedule_at/schedule_in callable in std::function (the type-erased
 #      indirection defeats the inline-storage fast path).
+#  10. Determinism hazards (DESIGN.md §10) are delegated to tools/detlint:
+#      unordered-container iteration, wall-clock/raw-rand use in models,
+#      pointer-keyed ordering, unordered reductions.
 #   8. Instrumentation goes through telemetry::Hub (DESIGN.md §8): no
 #      ad-hoc per-port callback mutation. The last-writer-wins Port
 #      callbacks (on_transmit_start/on_deliver) were replaced by the hub's
@@ -129,6 +132,12 @@ if [[ -n "$hits" ]]; then
     "pass lambdas/functors to schedule_at/schedule_in directly (std::function defeats inline event storage):" \
     "$hits"
 fi
+
+# -- 10. determinism lint (tools/detlint, DESIGN.md §10) ---------------------
+if ! tools/detlint > /tmp/detlint.$$ 2>&1; then
+  complain "determinism" "tools/detlint found nondeterminism hazards:" "$(cat /tmp/detlint.$$)"
+fi
+rm -f /tmp/detlint.$$
 
 # -- 6. pragma once in headers ----------------------------------------------
 for f in src/*/*.hpp bench/*.hpp; do

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Trajectory-hash differential gate (DESIGN.md §10). Runs the Fig. 8 smoke
+# sweep through bench/fig08_fct_non_ecn and asserts, via the per-job
+# trajectory_hash fields in the sweep JSON (schema_version 3):
+#
+#   1. repeat:   the same command twice yields identical hash sets;
+#   2. jobs:     --jobs 1 and --jobs 4 yield identical hash sets (worker
+#                count must not leak into any trajectory);
+#   3. seed:     a different --seeds set yields disjoint hashes (the oracle
+#                actually discriminates — it is not a constant).
+#
+# Usage: check_determinism.sh <build-dir>
+set -eu
+
+build=${1:?usage: check_determinism.sh <build-dir>}
+bin="$build/bench/fig08_fct_non_ecn"
+[[ -x "$bin" ]] || { echo "check_determinism: $bin not built" >&2; exit 1; }
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+run() {  # run <outdir> <extra flags...>
+  local out="$work/$1"
+  shift
+  mkdir -p "$out"
+  "$bin" --schemes=DynaQ,BestEffort --loads=0.5 --flows=200 --strict \
+    --json "$out" "$@" > /dev/null
+  grep -o '"trajectory_hash":"0x[0-9a-f]*"' "$out/fig08_fct_non_ecn.json" | sort
+}
+
+fail=0
+expect_equal() {  # expect_equal <label> <a> <b>
+  if [[ "$2" != "$3" ]]; then
+    echo "check_determinism: FAILED ($1): hash sets differ"
+    diff <(printf '%s\n' "$2") <(printf '%s\n' "$3") | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+a=$(run repeat_a --seeds=1,2 --jobs=2)
+b=$(run repeat_b --seeds=1,2 --jobs=2)
+expect_equal "same seed, repeated run" "$a" "$b"
+
+j1=$(run jobs_1 --seeds=1,2 --jobs=1)
+j4=$(run jobs_4 --seeds=1,2 --jobs=4)
+expect_equal "--jobs 1 vs --jobs 4" "$j1" "$j4"
+
+other=$(run seed_b --seeds=3,4 --jobs=2)
+if [[ -n "$(comm -12 <(printf '%s\n' "$a") <(printf '%s\n' "$other"))" ]]; then
+  echo "check_determinism: FAILED (different seeds produced a shared hash):"
+  comm -12 <(printf '%s\n' "$a") <(printf '%s\n' "$other") | sed 's/^/  /'
+  fail=1
+fi
+
+if [[ $(printf '%s\n' "$a" | wc -l) -lt 2 || "$a" != *trajectory_hash* ]]; then
+  echo "check_determinism: FAILED (no trajectory_hash fields in sweep JSON)"
+  fail=1
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "check_determinism: OK (repeat, --jobs 1 vs 4, seed sensitivity)"
+fi
+exit $fail

@@ -1,0 +1,18 @@
+// detlint self-test fixture: must trip [pointer-order]. Not compiled.
+#include <cstdint>
+#include <map>
+
+namespace dynaq::fixture {
+
+struct Flow {
+  std::uint32_t id = 0;
+};
+
+// Keyed by address: iteration order follows ASLR, not the flow id.
+using FlowBytes = std::map<Flow*, std::int64_t>;
+
+inline std::int64_t first_bytes(const FlowBytes& m) {
+  return m.empty() ? 0 : m.begin()->second;
+}
+
+}  // namespace dynaq::fixture

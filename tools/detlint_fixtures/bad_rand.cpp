@@ -1,0 +1,15 @@
+// detlint self-test fixture: must trip [raw-rand]. Not compiled.
+#include <cstdlib>
+#include <random>
+
+namespace dynaq::fixture {
+
+inline int pick_queue(int num_queues) {
+  std::random_device entropy;            // unseedable
+  std::mt19937_64 gen(entropy());        // bypasses sim::Rng
+  return static_cast<int>(gen() % static_cast<unsigned>(num_queues));
+}
+
+inline int legacy_pick(int num_queues) { return std::rand() % num_queues; }
+
+}  // namespace dynaq::fixture

@@ -1,0 +1,13 @@
+// detlint self-test fixture: must trip [unordered-reduce]. Not compiled.
+#include <numeric>
+#include <vector>
+
+namespace dynaq::fixture {
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double sum = std::reduce(xs.begin(), xs.end());  // unspecified order
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace dynaq::fixture

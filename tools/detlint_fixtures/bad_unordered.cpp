@@ -1,0 +1,13 @@
+// detlint self-test fixture: must trip [unordered-container]. Not compiled.
+#include <cstdint>
+#include <unordered_map>
+
+namespace dynaq::fixture {
+
+inline std::int64_t total_bytes(const std::unordered_map<int, std::int64_t>& by_queue) {
+  std::int64_t total = 0;
+  for (const auto& [queue, bytes] : by_queue) total += bytes;  // order varies
+  return total;
+}
+
+}  // namespace dynaq::fixture

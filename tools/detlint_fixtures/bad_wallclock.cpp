@@ -1,0 +1,12 @@
+// detlint self-test fixture: must trip [wall-clock]. Not compiled.
+#include <chrono>
+#include <cstdint>
+
+namespace dynaq::fixture {
+
+inline std::int64_t jitter_ps() {
+  const auto now = std::chrono::steady_clock::now();  // host time in a model
+  return now.time_since_epoch().count();
+}
+
+}  // namespace dynaq::fixture

@@ -1,0 +1,37 @@
+// detlint self-test fixture: every hazard below carries an allow comment,
+// so this file must produce zero violations. Not compiled.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace dynaq::fixture {
+
+struct Conn {
+  // detlint: allow(unordered-container): lookup-only by flow id, never iterated
+  std::unordered_map<std::uint32_t, std::int64_t> bytes_by_flow;
+};
+
+inline std::int64_t wall_ms() {
+  const auto now = std::chrono::steady_clock::now();  // detlint: allow(wall-clock): job timing, reported not simulated
+  return now.time_since_epoch().count();
+}
+
+inline std::uint64_t entropy_seed() {
+  // detlint: allow(raw-rand): operator-requested entropy for a --seed default
+  std::random_device entropy;
+  return entropy();
+}
+
+// detlint: allow(pointer-order): drained before iteration, order never observed
+using Scratch = std::map<Conn*, int>;
+
+inline double checked_sum(const std::vector<double>& xs) {
+  // detlint: allow(unordered-reduce): integer payload, order-independent
+  return std::reduce(xs.begin(), xs.end());
+}
+
+}  // namespace dynaq::fixture

@@ -7,7 +7,7 @@ using namespace dynaq;
 
 namespace {
 
-harness::StaticExperimentConfig scenario(core::SchemeKind kind, Time duration,
+harness::StaticExperimentConfig experiment_config(core::SchemeKind kind, Time duration,
                                          std::uint64_t seed) {
   harness::StaticExperimentConfig cfg;
   cfg.star = bench::testbed_star(kind, /*num_hosts=*/5);
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const core::SchemeKind kinds[] = {core::SchemeKind::kBestEffort, core::SchemeKind::kPql,
                                     core::SchemeKind::kDynaQ};
   for (const auto kind : kinds) {
-    const auto r = harness::run_static_experiment(scenario(kind, duration, seed));
+    const auto r = harness::run_static_experiment(experiment_config(kind, duration, seed));
     std::printf("--- %s ---\n", std::string(core::scheme_name(kind)).c_str());
     std::vector<std::vector<double>> series;
     for (std::size_t w = 0; w < r.meter.num_windows(); ++w) {

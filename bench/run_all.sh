@@ -8,7 +8,8 @@
 # DESIGN.md §7) in <output-dir>/json/, and per-figure telemetry event dumps
 # (fig03/fig04, DESIGN.md §8) as <output-dir>/json/*.events.jsonl. Pass
 # --full for paper-scale parameters; --jobs N fans the sweep-driven figures
-# (8, 9, 12, 13) out over N worker threads (default: all hardware threads).
+# (8, 9, 12, 13) and the rob_* robustness sweeps out over N worker threads
+# (default: all hardware threads).
 set -euo pipefail
 
 BUILD_DIR="build"
@@ -65,6 +66,12 @@ run "$BUILD_DIR/bench/fig13_leaf_spine" $FULL_FLAG "$JOBS_FLAG" --json "$OUT_DIR
 for abl in abl_victim_selection abl_satisfaction abl_dt_baseline abl_eviction \
            abl_tna_staleness abl_shared_pool abl_generic_ecn abl_delay_based; do
   run "$BUILD_DIR/bench/$abl"
+done
+
+# Robustness sweeps under mid-run scenarios (DESIGN.md §11): weight churn
+# and bottleneck link flaps, DynaQ vs DT vs shared-pool baselines.
+for rob in rob_weight_churn rob_link_flap; do
+  run "$BUILD_DIR/bench/$rob" $FULL_FLAG "$JOBS_FLAG" --json "$OUT_DIR/json"
 done
 
 run "$BUILD_DIR/bench/micro_dynaq_ops"

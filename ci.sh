@@ -59,6 +59,13 @@ if [[ $skip_asan -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=1 ctest --test-dir build-asan -j "$jobs" --output-on-failure
   echo "==> [2/4] ASan+UBSan smoke sweep (--jobs 2)"
   ASAN_OPTIONS=detect_leaks=1 smoke_sweep build-asan --json build-asan
+  echo "==> [2/4] ASan+UBSan scenario smoke (rob_link_flap, DESIGN.md §11)"
+  # Mid-run link flaps + weight churn under the sanitizers: timer
+  # cancellation and handle mutation must be clean of UB and leaks.
+  ASAN_OPTIONS=detect_leaks=1 build-asan/bench/rob_link_flap --duration-s=1 \
+      --schemes=DynaQ --seeds=1 --strict > /dev/null
+  ASAN_OPTIONS=detect_leaks=1 build-asan/bench/rob_weight_churn --duration-s=1 \
+      --scenario=mixed --schemes=DynaQ --seeds=1 --strict > /dev/null
 else
   echo "==> [2/4] ASan+UBSan ctest (skipped)"
 fi

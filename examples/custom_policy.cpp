@@ -53,7 +53,7 @@ class ReserveHalfPolicy final : public net::BufferPolicy {
   std::int64_t floating_pool_ = 0;
 };
 
-harness::StaticExperimentConfig scenario() {
+harness::StaticExperimentConfig experiment_config() {
   harness::StaticExperimentConfig cfg;
   cfg.star.num_hosts = 5;
   cfg.star.link_rate_bps = 1e9;
@@ -81,7 +81,7 @@ int main() {
   // Built-in schemes go through SchemeSpec::kind...
   for (const auto kind : {core::SchemeKind::kBestEffort, core::SchemeKind::kPql,
                           core::SchemeKind::kDynaQ}) {
-    auto cfg = scenario();
+    auto cfg = experiment_config();
     cfg.star.scheme.kind = kind;
     const auto r = harness::run_static_experiment(cfg);
     const double q1 = r.meter.mean_gbps(0, 2, r.meter.num_windows());
@@ -92,7 +92,7 @@ int main() {
 
   // ...and a user-defined policy goes through SchemeSpec::custom_policy.
   {
-    auto cfg = scenario();
+    auto cfg = experiment_config();
     cfg.star.scheme.custom_policy = [] { return std::make_unique<ReserveHalfPolicy>(); };
     const auto r = harness::run_static_experiment(cfg);
     const double q1 = r.meter.mean_gbps(0, 2, r.meter.num_windows());

@@ -211,6 +211,12 @@ void AuditedBufferPolicy::on_buffer_resize(const net::MqState& state) {
   check_thresholds(state, "on_buffer_resize");
 }
 
+void AuditedBufferPolicy::on_weights_changed(const net::MqState& state) {
+  inner_->on_weights_changed(state);
+  pre_admit_valid_ = false;  // the rebalance invalidates any pending admit snapshot
+  check_thresholds(state, "on_weights_changed");
+}
+
 void AuditedBufferPolicy::on_enqueue(const net::MqState& state, int q, const net::Packet& p) {
   inner_->on_enqueue(state, q, p);
   pre_admit_valid_ = false;  // the admitted packet is in; the snapshot is spent

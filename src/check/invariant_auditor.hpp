@@ -115,6 +115,10 @@ class AuditedBufferPolicy final : public net::BufferPolicy {
   void on_admit_aborted(const net::MqState& state, int q, const net::Packet& p) override;
   int evict_candidate(const net::MqState& state, int q, const net::Packet& p) override;
   void on_buffer_resize(const net::MqState& state) override;
+  // Mid-run weight rebalance (DESIGN.md §11): ΣT = B must hold again the
+  // instant the rebalance returns — this is the audit point the scenario
+  // weight_update action is checked at.
+  void on_weights_changed(const net::MqState& state) override;
   void on_enqueue(const net::MqState& state, int q, const net::Packet& p) override;
   void on_dequeue(const net::MqState& state, int q, const net::Packet& p) override;
 

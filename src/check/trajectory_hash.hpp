@@ -17,7 +17,7 @@
 // Two runs with the same seed must produce equal values for any sweep
 // worker count; different seeds must diverge. The harness surfaces the
 // digest in every experiment result, the sweep JSON carries it per job
-// (schema_version 3), and ci.sh diffs it across seed-repeat, --jobs 1 vs 4
+// (schema_version 4), and ci.sh diffs it across seed-repeat, --jobs 1 vs 4
 // and seed-change runs.
 #pragma once
 

@@ -60,6 +60,20 @@ void DynaQController::reinitialize(std::int64_t buffer_bytes) {
       satisfaction_ = proportional_split(config_.bdp_bytes, config_.weights);
       break;
   }
+  // Fresh thresholds carry no exchange history: an undo after a
+  // re-initialization would corrupt the just-restored Eq. (1) split.
+  last_p_ = -1;
+}
+
+void DynaQController::set_weights(const std::vector<double>& weights) {
+  if (weights.size() != config_.weights.size()) {
+    throw std::invalid_argument("set_weights needs one weight per queue");
+  }
+  for (double w : weights) {
+    if (w <= 0.0) throw std::invalid_argument("weights must be positive");
+  }
+  config_.weights = weights;
+  reinitialize(buffer_bytes_);
 }
 
 std::int64_t DynaQController::threshold_sum() const {

@@ -89,6 +89,14 @@ class DynaQController {
   // the operator resizes the port buffer (§III-B3).
   void reinitialize(std::int64_t buffer_bytes);
 
+  // Installs new per-queue weights mid-run (scenario weight_update,
+  // DESIGN.md §11) and rebalances via Eq. (1)/(3) — the analogue of the
+  // §III-B3 resize path along the weight axis. The proportional split
+  // assigns the rounding remainder deterministically, so ΣT = B holds
+  // exactly after the rebalance; any pending undo_last_exchange() snapshot
+  // is invalidated (there is nothing meaningful left to undo).
+  void set_weights(const std::vector<double>& weights);
+
   int num_queues() const { return static_cast<int>(thresholds_.size()); }
   std::int64_t buffer_bytes() const { return buffer_bytes_; }
   std::int64_t threshold(int i) const { return thresholds_[static_cast<std::size_t>(i)]; }

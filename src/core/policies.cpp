@@ -83,6 +83,14 @@ bool DynaQPolicy::admit(const net::MqState& state, int q, const net::Packet& p) 
   return false;
 }
 
+void DynaQPolicy::on_weights_changed(const net::MqState& state) {
+  std::vector<double> weights;
+  weights.reserve(state.queues.size());
+  for (const net::ServiceQueue& q : state.queues) weights.push_back(q.weight);
+  controller_->set_weights(weights);
+  last_exchange_victim_ = -1;  // the rebalance wiped any exchange history
+}
+
 void DynaQPolicy::on_dequeue(const net::MqState& state, int q, const net::Packet& p) {
   (void)p;
   // deq_qdepth: the queue's depth observed when a packet leaves it, which

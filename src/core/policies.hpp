@@ -89,6 +89,10 @@ class DynaQPolicy : public net::BufferPolicy {
   void on_buffer_resize(const net::MqState& state) override {
     controller_->reinitialize(state.buffer_bytes);
   }
+  // Scenario weight_update (DESIGN.md §11): rebalance ΣT = B under the new
+  // weights without rebuilding the controller (the TNA stale-depth feedback
+  // in stale_qlen_ survives the rebalance).
+  void on_weights_changed(const net::MqState& state) override;
   // TNA emulation: record deq_qdepth at dequeue time.
   void on_dequeue(const net::MqState& state, int q, const net::Packet& p) override;
   std::vector<std::int64_t> thresholds() const override;

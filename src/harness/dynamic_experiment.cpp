@@ -1,9 +1,11 @@
 #include "harness/dynamic_experiment.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "check/invariant_auditor.hpp"
 #include "check/trajectory_hash.hpp"
+#include "scenario/director.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "transport/host_agent.hpp"
@@ -11,6 +13,20 @@
 
 namespace dynaq::harness {
 namespace {
+
+// Builds and arms a scenario director over the topology's handles when the
+// config carries a timeline (DESIGN.md §11). The director is emplaced into
+// the caller's optional (it is pinned: scheduled closures capture `this`).
+template <typename TopoT>
+void arm_scenario(std::optional<dynaq::scenario::ScenarioDirector>& director,
+                  sim::Simulator& sim, telemetry::Hub& hub, TopoT& topo,
+                  const dynaq::scenario::Scenario* scenario) {
+  if (scenario == nullptr) return;
+  director.emplace(sim);
+  if (hub.enabled()) director->attach_telemetry(hub);
+  topo.register_scenario_handles(*director);
+  director->arm(*scenario);
+}
 
 // Folds one qdisc's audit ledger when the port runs under the auditor —
 // part of the per-run trajectory hash (DESIGN.md §10).
@@ -101,7 +117,11 @@ DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& con
     install_flow(topo, params, result, outstanding);
   }
 
+  std::optional<dynaq::scenario::ScenarioDirector> director;
+  arm_scenario(director, sim, hub, topo, config.scenario);
+
   sim.run_until(config.max_sim_time);
+  if (director) result.scenario_actions = director->actions_applied();
   result.incomplete = outstanding;
   result.events = sim.events_processed();
   result.drops = topo.port_qdisc(config.client_host).stats().dropped;
@@ -202,7 +222,11 @@ DynamicExperimentResult run_dynamic_leaf_spine_experiment(
     install_flow(topo, params, result, outstanding);
   }
 
+  std::optional<dynaq::scenario::ScenarioDirector> director;
+  arm_scenario(director, sim, hub, topo, config.scenario);
+
   sim.run_until(config.max_sim_time);
+  if (director) result.scenario_actions = director->actions_applied();
   result.incomplete = outstanding;
   result.events = sim.events_processed();
   for (const net::MultiQueueQdisc* q : topo.all_qdiscs()) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/scenario.hpp"
 #include "stats/fct_recorder.hpp"
 #include "telemetry/hub.hpp"
 #include "topo/leaf_spine.hpp"
@@ -49,6 +50,10 @@ struct DynamicStarConfig {
   std::size_t telemetry_ring = 4096;
   // Trajectory-fingerprint oracle (DESIGN.md §10); see StaticExperimentConfig.
   bool fingerprint_trajectory = true;
+  // Optional mid-run timeline (DESIGN.md §11). Dynamic runs register only
+  // topology handles (no per-queue sender lists, no incast launcher), so
+  // arm() rejects service_join/leave and incast_burst actions here.
+  const scenario::Scenario* scenario = nullptr;
 };
 
 struct DynamicExperimentResult {
@@ -62,6 +67,7 @@ struct DynamicExperimentResult {
   std::vector<telemetry::Event> telemetry_events;  // tail of the event ring
   std::vector<std::string> telemetry_ports;        // observation-point names
   std::uint64_t trajectory_hash = 0;  // 0 when fingerprint_trajectory is off
+  std::uint64_t scenario_actions = 0;  // timeline mutations applied (DESIGN.md §11)
 };
 
 DynamicExperimentResult run_dynamic_star_experiment(const DynamicStarConfig& config);
@@ -88,6 +94,7 @@ struct DynamicLeafSpineConfig {
   bool collect_telemetry = true;  // see DynamicStarConfig
   std::size_t telemetry_ring = 4096;
   bool fingerprint_trajectory = true;  // see DynamicStarConfig
+  const scenario::Scenario* scenario = nullptr;  // see DynamicStarConfig
 };
 
 DynamicExperimentResult run_dynamic_leaf_spine_experiment(const DynamicLeafSpineConfig& config);

@@ -1,9 +1,11 @@
 #include "harness/static_experiment.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "check/invariant_auditor.hpp"
 #include "check/trajectory_hash.hpp"
+#include "scenario/director.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "transport/host_agent.hpp"
@@ -43,8 +45,18 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
     hub.enable_queue_sampling(config.queue_samples, config.queue_sample_skip);
   }
 
+  // Scenario timeline (DESIGN.md §11): the director mutates components only
+  // through the handles the topology registers; senders register under
+  // their group's queue so service_join/leave can find them.
+  std::optional<scenario::ScenarioDirector> director;
+  if (config.scenario != nullptr) {
+    director.emplace(sim);
+    if (hub.enabled()) director->attach_telemetry(hub);
+    topo.register_scenario_handles(*director);
+  }
+
   std::uint32_t next_flow_id = 1;
-  std::vector<const transport::FlowSender*> senders;
+  std::vector<transport::FlowSender*> senders;
   for (const SenderGroup& group : config.groups) {
     if (group.queue < 0 || group.queue >= num_queues) {
       throw std::invalid_argument("sender group references unknown queue");
@@ -71,11 +83,43 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
       topo.agent(config.receiver_host).add_receiver(params);
       transport::FlowSender& sender = topo.agent(src).add_sender(params);
       senders.push_back(&sender);
+      if (director) director->register_sender(group.queue, sender);
       sender.start();
     }
   }
 
+  if (director) {
+    director->set_incast_launcher([&topo, &config, &sim, &next_flow_id,
+                                   &senders](const scenario::Action& a) {
+      // Synchronized fan-in: `count` short flows into the action's queue,
+      // sourced round-robin from every non-receiver host, all launched at
+      // the burst's timestamp.
+      const int others = topo.num_hosts() - 1;
+      if (others <= 0) return;
+      for (int f = 0; f < a.count; ++f) {
+        int src = f % others;
+        if (src >= config.receiver_host) ++src;
+        transport::FlowParams params;
+        params.id = next_flow_id++;
+        params.src_host = src;
+        params.dst_host = config.receiver_host;
+        params.size_bytes = a.bytes;
+        params.start = sim.now();
+        params.service_queue = a.queue;
+        params.mss = config.mss;
+        params.initial_cwnd_packets = config.initial_cwnd_packets;
+        params.rto_min = config.rto_min;
+        topo.agent(config.receiver_host).add_receiver(params);
+        transport::FlowSender& sender = topo.agent(src).add_sender(params);
+        senders.push_back(&sender);
+        sender.start();
+      }
+    });
+    director->arm(*config.scenario);
+  }
+
   sim.run_until(config.duration);
+  if (director) result.scenario_actions = director->actions_applied();
   for (const transport::FlowSender* s : senders) {
     result.sender_totals.data_packets += s->stats().data_packets;
     result.sender_totals.retransmissions += s->stats().retransmissions;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/multi_queue_qdisc.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/queue_sampler.hpp"
 #include "stats/throughput_meter.hpp"
 #include "telemetry/hub.hpp"
@@ -62,6 +63,11 @@ struct StaticExperimentConfig {
   // pop stream + telemetry event bus + per-port audit ledgers. Equal seeds
   // must yield equal hashes; ci.sh diffs them across repeat/jobs/seed runs.
   bool fingerprint_trajectory = true;
+  // Optional mid-run timeline (DESIGN.md §11): a ScenarioDirector is built
+  // over the topology's registered handles, every sender is registered
+  // under its group's queue, and incast bursts spawn short flows toward
+  // the receiver. The Scenario must outlive the run call.
+  const scenario::Scenario* scenario = nullptr;
 };
 
 struct StaticExperimentResult {
@@ -74,6 +80,7 @@ struct StaticExperimentResult {
   std::vector<telemetry::Event> telemetry_events;  // tail of the event ring
   std::vector<std::string> telemetry_ports;        // observation-point names
   std::uint64_t trajectory_hash = 0;  // 0 when fingerprint_trajectory is off
+  std::uint64_t scenario_actions = 0;  // timeline mutations applied (DESIGN.md §11)
 };
 
 StaticExperimentResult run_static_experiment(const StaticExperimentConfig& config);

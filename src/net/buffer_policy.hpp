@@ -53,6 +53,14 @@ class BufferPolicy {
   // the new size. Default: re-run attach().
   virtual void on_buffer_resize(const MqState& state) { attach(state); }
 
+  // Called when the operator rewrites the per-queue weights mid-run
+  // (scenario weight_update, DESIGN.md §11). `state.queues[i].weight`
+  // already holds the new values. Threshold-conserving policies must
+  // rebalance so ΣT = B still holds immediately after this call — the
+  // invariant auditor re-checks it here. Default: re-run attach(), which
+  // re-derives everything from the state (correct for PQL/DT/BestEffort).
+  virtual void on_weights_changed(const MqState& state) { attach(state); }
+
   // Notification hooks for policies that track occupancy-derived state.
   virtual void on_enqueue(const MqState& state, int q, const Packet& p) {
     (void)state, (void)q, (void)p;

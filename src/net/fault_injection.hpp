@@ -54,6 +54,16 @@ class DeterministicLossQueue final : public QueueDisc {
                                   std::int64_t capacity_bytes = 0)
       : drops_(std::move(drop_ordinals)), inner_(capacity_bytes) {}
 
+  // Scripts additional losses at runtime (scenario loss actions, DESIGN.md
+  // §11): ordinals are absolute (the data-packet count since construction),
+  // so already-seen ordinals are inert. data_seen() gives the current
+  // position for relative scripting.
+  void add_drops(std::initializer_list<std::uint64_t> ordinals) {
+    drops_.insert(ordinals.begin(), ordinals.end());
+  }
+  void add_drop(std::uint64_t ordinal) { drops_.insert(ordinal); }
+  std::uint64_t data_seen() const { return data_seen_; }
+
   bool enqueue(Packet&& p) override {
     if (!p.is_ack() && drops_.erase(data_seen_++) > 0) {
       ++injected_;
@@ -84,6 +94,14 @@ class BernoulliLossQueue final : public QueueDisc {
  public:
   BernoulliLossQueue(double loss_rate, std::uint64_t seed, std::int64_t capacity_bytes = 0)
       : loss_rate_(loss_rate), rng_(seed), inner_(capacity_bytes) {}
+
+  // Scripts the loss probability at runtime (scenario loss_window actions
+  // schedule a set at the window start and a reset to 0 at its end,
+  // DESIGN.md §11). The RNG stream keeps advancing one draw per data
+  // packet regardless of the rate, so two runs that flip the rate at the
+  // same instants see identical draws — determinism is per --seed.
+  void set_loss_rate(double loss_rate) { loss_rate_ = loss_rate; }
+  double loss_rate() const { return loss_rate_; }
 
   bool enqueue(Packet&& p) override {
     if (!p.is_ack() && rng_.uniform() < loss_rate_) {

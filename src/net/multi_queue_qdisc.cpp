@@ -155,6 +155,18 @@ void MultiQueueQdisc::resize_buffer(std::int64_t buffer_bytes) {
   policy_->on_buffer_resize(state_);
 }
 
+void MultiQueueQdisc::set_weights(const std::vector<double>& weights) {
+  if (weights.size() != state_.queues.size()) {
+    throw std::invalid_argument("set_weights needs one weight per service queue");
+  }
+  for (const double w : weights) {
+    if (w <= 0.0) throw std::invalid_argument("queue weights must be positive");
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) state_.queues[i].weight = weights[i];
+  policy_->on_weights_changed(state_);
+  scheduler_->on_weights_changed(state_);
+}
+
 std::optional<Packet> MultiQueueQdisc::dequeue() {
   // Eviction can empty a queue behind the scheduler's back; skip such
   // stale picks rather than dereferencing an empty queue.

@@ -51,6 +51,13 @@ class MultiQueueQdisc final : public QueueDisc {
   // until the queues drain below the new bound.
   void resize_buffer(std::int64_t buffer_bytes);
 
+  // Operator weight rewrite at runtime (scenario weight_update, DESIGN.md
+  // §11): installs the new per-queue weights and notifies the buffer
+  // policy (which must rebalance keeping ΣT = B) and the scheduler (which
+  // must not disturb buffered packets or its in-flight round). `weights`
+  // must match the queue count and be positive.
+  void set_weights(const std::vector<double>& weights);
+
   // Attaches this port to a chip-wide shared memory pool (§II-C's
   // shared-buffer switch model): admissions must additionally reserve pool
   // bytes; `buffer_bytes` then acts as the per-port cap. The pool must
@@ -58,6 +65,11 @@ class MultiQueueQdisc final : public QueueDisc {
   void attach_memory_pool(SharedMemoryPool* pool) { pool_ = pool; }
 
   const MqState& state() const { return state_; }
+  // Handle-level introspection for scenario orchestration: the director
+  // validates weight vectors and buffer sizes against these instead of
+  // reaching into MqState (conventions rule 11).
+  int num_service_queues() const { return state_.num_queues(); }
+  std::int64_t buffer_bytes() const { return state_.buffer_bytes; }
   BufferPolicy& policy() { return *policy_; }
   const BufferPolicy& policy() const { return *policy_; }
   SchedulerPolicy& scheduler() { return *scheduler_; }

@@ -36,8 +36,39 @@ class Port {
   // false when the queue discipline dropped the packet.
   bool send(Packet&& p) {
     const bool queued = qdisc_->enqueue(std::move(p));
-    if (!transmitting_) start_transmission();
+    if (!transmitting_ && !down_) start_transmission();
     return queued;
+  }
+
+  // ---- runtime link control (scenario link actions, DESIGN.md §11) ------
+  // Takes the link down: the in-flight serialization event is cancelled via
+  // Simulator::cancel — no dead closure ever fires — and the packet being
+  // serialized is lost with it. Bits already propagating (the peer-deliver
+  // closure) still arrive: they left the port before the cut. The queue
+  // discipline keeps buffering while the link is down.
+  void set_link_down() {
+    if (down_) return;
+    down_ = true;
+    if (tx_event_ != sim::kNoEvent) {
+      sim_.cancel(tx_event_);
+      tx_event_ = sim::kNoEvent;
+      ++packets_lost_link_down_;
+    }
+    transmitting_ = false;
+  }
+
+  // Brings the link back up and restarts transmission from the backlog.
+  void set_link_up() {
+    if (!down_) return;
+    down_ = false;
+    if (!transmitting_) start_transmission();
+  }
+
+  // Rewrites the line rate; takes effect from the next packet's
+  // serialization (the in-flight packet finishes at the old rate).
+  void set_rate(double rate_bps) {
+    if (rate_bps <= 0.0) return;
+    rate_bps_ = rate_bps;
   }
 
   QueueDisc& qdisc() { return *qdisc_; }
@@ -47,6 +78,8 @@ class Port {
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::int64_t bytes_sent() const { return bytes_sent_; }
   bool busy() const { return transmitting_; }
+  bool link_down() const { return down_; }
+  std::uint64_t packets_lost_link_down() const { return packets_lost_link_down_; }
 
   // Registers this port on the telemetry hub under `name`: wire records
   // (transmit-start / deliver, consumed by PacketTracer) flow to the hub's
@@ -83,6 +116,7 @@ class Port {
     // would heap-allocate (DESIGN.md §9).
     static_assert(sim::EventFn::fits_inline<Packet>());
     static_assert(sizeof(Packet) + sizeof(void*) <= sim::kEventInlineBytes);
+    if (down_) return;
     auto next = qdisc_->dequeue();
     if (!next) return;
     transmitting_ = true;
@@ -91,8 +125,12 @@ class Port {
     if (hub_ != nullptr && hub_->wants_wire()) emit_wire(*next, /*transmit=*/true);
     const Time tx = transmission_time(next->size, rate_bps_);
     // Serialization completes at now+tx; the last bit reaches the peer one
-    // propagation delay later.
-    sim_.schedule_in(tx, [this, pkt = std::move(*next)]() mutable {
+    // propagation delay later. The serialization event is tracked in
+    // tx_event_ so set_link_down() can cancel it (losing the packet with
+    // it); the propagate closure is untracked on purpose — those bits
+    // already left the port.
+    tx_event_ = sim_.schedule_in(tx, [this, pkt = std::move(*next)]() mutable {
+      tx_event_ = sim::kNoEvent;
       Port* peer = peer_;
       if (peer != nullptr) {
         sim_.schedule_in(prop_delay_, [peer, p = std::move(pkt)]() mutable {
@@ -111,8 +149,11 @@ class Port {
   Port* peer_ = nullptr;
   std::function<void(Packet&&)> receiver_;
   bool transmitting_ = false;
+  bool down_ = false;
+  sim::EventId tx_event_ = sim::kNoEvent;
   std::uint64_t packets_sent_ = 0;
   std::int64_t bytes_sent_ = 0;
+  std::uint64_t packets_lost_link_down_ = 0;
   telemetry::Hub* hub_ = nullptr;
   std::int16_t tel_port_ = -1;
 };

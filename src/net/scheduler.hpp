@@ -17,6 +17,14 @@ class SchedulerPolicy {
   // active lists).
   virtual void on_enqueue(const MqState& state, int q) { (void)state, (void)q; }
 
+  // Called when the operator rewrites the per-queue weights mid-run
+  // (scenario weight_update, DESIGN.md §11). Schedulers that precompute
+  // weight-derived state must refresh it WITHOUT resetting active lists or
+  // per-queue progress — buffered packets stay where they are and the
+  // in-flight round must keep draining. Schedulers that read MqState
+  // weights live (DRR) need nothing.
+  virtual void on_weights_changed(const MqState& state) { (void)state; }
+
   // Chooses the queue whose head packet should be transmitted next and
   // commits any scheduler state for that choice (deficit decrement, slot
   // consumption). Returns -1 when every queue is empty. The caller will

@@ -99,11 +99,15 @@ int DrrScheduler::next_queue(MqState& state) {
 
 void WrrScheduler::attach(const MqState& state) {
   const auto n = static_cast<std::size_t>(state.num_queues());
-  slots_per_round_.assign(n, 1);
   slots_left_.assign(n, 0);
   in_list_.assign(n, false);
   active_.clear();
+  compute_slots(state);
+}
 
+void WrrScheduler::compute_slots(const MqState& state) {
+  const auto n = static_cast<std::size_t>(state.num_queues());
+  slots_per_round_.assign(n, 1);
   double min_w = 0.0;
   for (const ServiceQueue& q : state.queues) {
     if (q.weight > 0.0 && (min_w == 0.0 || q.weight < min_w)) min_w = q.weight;
@@ -114,6 +118,8 @@ void WrrScheduler::attach(const MqState& state) {
     slots_per_round_[i] = std::max(1, static_cast<int>(std::lround(w / min_w)));
   }
 }
+
+void WrrScheduler::on_weights_changed(const MqState& state) { compute_slots(state); }
 
 void WrrScheduler::on_enqueue(const MqState& state, int q) {
   (void)state;

@@ -61,9 +61,16 @@ class WrrScheduler final : public SchedulerPolicy {
   void attach(const MqState& state) override;
   void on_enqueue(const MqState& state, int q) override;
   int next_queue(MqState& state) override;
+  // Mid-run weight rewrite: recompute only slots_per_round_ — active_,
+  // in_list_ and slots_left_ describe buffered packets and the in-flight
+  // round, which must survive the reconfiguration (new rates apply from
+  // each queue's next refill).
+  void on_weights_changed(const MqState& state) override;
   std::string_view name() const override { return "wrr"; }
 
  private:
+  void compute_slots(const MqState& state);
+
   std::vector<int> slots_per_round_;
   std::vector<int> slots_left_;
   std::vector<bool> in_list_;

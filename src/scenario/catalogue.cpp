@@ -1,0 +1,164 @@
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/scenario.hpp"
+
+namespace dynaq::scenario {
+namespace {
+
+// The catalogue lays timelines out on eighths of the run: long enough for
+// flows to reach steady state before the first disturbance, with a quiet
+// final eighth so post-fault recovery shows up in the aggregate metrics.
+Action at(Time when, ActionKind kind) {
+  Action a;
+  a.at = when;
+  a.kind = kind;
+  return a;
+}
+
+Scenario weight_churn(const ScenarioParams& p) {
+  // Every eighth of the run, promote one queue (rotating) to 4× weight;
+  // restore the flat split for the final quarter. Each update rebalances
+  // ΣT = B through the audited set_weights path.
+  Scenario s{"weight_churn", {}};
+  const Time t8 = p.duration / 8;
+  for (int step = 1; step <= 5; ++step) {
+    Action a = at(t8 * step, ActionKind::kWeightUpdate);
+    a.target = p.qdisc;
+    a.weights.assign(static_cast<std::size_t>(p.num_queues), 1.0);
+    a.weights[static_cast<std::size_t>((step - 1) % p.num_queues)] = 4.0;
+    s.actions.push_back(std::move(a));
+  }
+  Action restore = at(t8 * 6, ActionKind::kWeightUpdate);
+  restore.target = p.qdisc;
+  restore.weights.assign(static_cast<std::size_t>(p.num_queues), 1.0);
+  s.actions.push_back(std::move(restore));
+  return s;
+}
+
+Scenario link_flap(const ScenarioParams& p) {
+  // Two down/up cycles on the bottleneck link, one eighth of the run each:
+  // long enough (vs the RTO floor) that senders hit timeouts and must
+  // recover, short enough that the run ends in steady state again.
+  Scenario s{"link_flap", {}};
+  const Time t8 = p.duration / 8;
+  for (const int down_at : {2, 5}) {
+    Action down = at(t8 * down_at, ActionKind::kLinkDown);
+    down.target = p.link;
+    s.actions.push_back(std::move(down));
+    Action up = at(t8 * (down_at + 1), ActionKind::kLinkUp);
+    up.target = p.link;
+    s.actions.push_back(std::move(up));
+  }
+  return s;
+}
+
+Scenario service_churn(const ScenarioParams& p) {
+  // One service leaves a quarter into the run and rejoins at 5/8 — the
+  // dynamic-services story of the paper's title: the remaining queues
+  // should absorb the freed buffer and give it back on rejoin.
+  Scenario s{"service_churn", {}};
+  const Time t8 = p.duration / 8;
+  const int q = p.churn_queue >= 0 ? p.churn_queue : p.num_queues - 1;
+  Action leave = at(t8 * 2, ActionKind::kServiceLeave);
+  leave.queue = q;
+  s.actions.push_back(std::move(leave));
+  Action join = at(t8 * 5, ActionKind::kServiceJoin);
+  join.queue = q;
+  s.actions.push_back(std::move(join));
+  return s;
+}
+
+Scenario incast(const ScenarioParams& p) {
+  // A synchronized fan-in of short flows into queue 0 at mid-run.
+  Scenario s{"incast", {}};
+  Action burst = at(p.duration / 2, ActionKind::kIncastBurst);
+  burst.queue = 0;
+  burst.count = p.incast_fanin;
+  burst.bytes = p.incast_bytes;
+  s.actions.push_back(std::move(burst));
+  return s;
+}
+
+Scenario loss_burst(const ScenarioParams& p) {
+  // A lossy-cable episode: raise the registered loss queue's rate for a
+  // quarter of the run starting at 3/8.
+  Scenario s{"loss_burst", {}};
+  Action w = at(p.duration * 3 / 8, ActionKind::kLossWindow);
+  w.target = p.loss;
+  w.loss_rate = p.loss_burst_rate;
+  w.duration = p.duration / 4;
+  s.actions.push_back(std::move(w));
+  return s;
+}
+
+Scenario buffer_squeeze(const ScenarioParams& p) {
+  // Halve the bottleneck buffer at 3/8, restore at 6/8 — §III-B3's resize
+  // path exercised mid-run in both directions.
+  Scenario s{"buffer_squeeze", {}};
+  Action shrink = at(p.duration * 3 / 8, ActionKind::kBufferResize);
+  shrink.target = p.qdisc;
+  shrink.bytes = p.buffer_bytes / 2;
+  s.actions.push_back(std::move(shrink));
+  Action grow = at(p.duration * 6 / 8, ActionKind::kBufferResize);
+  grow.target = p.qdisc;
+  grow.bytes = p.buffer_bytes;
+  s.actions.push_back(std::move(grow));
+  return s;
+}
+
+Scenario mixed(const ScenarioParams& p) {
+  // Weight churn, a link flap and an incast in one run — the kitchen-sink
+  // robustness scenario the rob_* benches default to for the "everything
+  // at once" column.
+  Scenario s{"mixed", {}};
+  const Time t8 = p.duration / 8;
+  Action favor = at(t8 * 2, ActionKind::kWeightUpdate);
+  favor.target = p.qdisc;
+  favor.weights.assign(static_cast<std::size_t>(p.num_queues), 1.0);
+  favor.weights[0] = 4.0;
+  s.actions.push_back(std::move(favor));
+  Action down = at(t8 * 4, ActionKind::kLinkDown);
+  down.target = p.link;
+  s.actions.push_back(std::move(down));
+  Action up = at(t8 * 4 + t8 / 2, ActionKind::kLinkUp);
+  up.target = p.link;
+  s.actions.push_back(std::move(up));
+  Action burst = at(t8 * 6, ActionKind::kIncastBurst);
+  burst.queue = 0;
+  burst.count = p.incast_fanin;
+  burst.bytes = p.incast_bytes;
+  s.actions.push_back(std::move(burst));
+  Action restore = at(t8 * 7, ActionKind::kWeightUpdate);
+  restore.target = p.qdisc;
+  restore.weights.assign(static_cast<std::size_t>(p.num_queues), 1.0);
+  s.actions.push_back(std::move(restore));
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"none",   "weight_churn", "link_flap",      "service_churn",
+          "incast", "loss_burst",   "buffer_squeeze", "mixed"};
+}
+
+Scenario make_scenario(std::string_view name, const ScenarioParams& params) {
+  if (params.duration <= 0) throw std::invalid_argument("scenario duration must be positive");
+  if (params.num_queues <= 0) throw std::invalid_argument("scenario needs at least one queue");
+  if (name == "none") return Scenario{"none", {}};
+  if (name == "weight_churn") return weight_churn(params);
+  if (name == "link_flap") return link_flap(params);
+  if (name == "service_churn") return service_churn(params);
+  if (name == "incast") return incast(params);
+  if (name == "loss_burst") return loss_burst(params);
+  if (name == "buffer_squeeze") return buffer_squeeze(params);
+  if (name == "mixed") return mixed(params);
+  std::ostringstream os;
+  os << "unknown scenario '" << name << "' (known:";
+  for (const std::string& known : scenario_names()) os << " " << known;
+  os << ")";
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace dynaq::scenario

@@ -1,0 +1,91 @@
+// Declarative mid-run timelines (DESIGN.md §11): a Scenario is a list of
+// timestamped actions — weight rebalances, service churn, link faults,
+// buffer resizes, incast bursts, loss windows — that a ScenarioDirector
+// replays against registered component handles while an experiment runs.
+// Scenarios are plain data: building one performs no side effects, so the
+// same Scenario value can drive any number of simulator instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dynaq::scenario {
+
+enum class ActionKind : std::uint8_t {
+  kWeightUpdate = 0,    // rewrite a qdisc's per-queue weights (ΣT = B rebalance)
+  kServiceJoin = 1,     // resume every registered sender of a service queue
+  kServiceLeave = 2,    // pause every registered sender of a service queue
+  kLinkRateChange = 3,  // rewrite a link's line rate
+  kLinkDown = 4,        // cut a link (cancels the in-flight serialization)
+  kLinkUp = 5,          // restore a cut link
+  kBufferResize = 6,    // rewrite a qdisc's buffer size B
+  kIncastBurst = 7,     // launch N synchronized short flows into one queue
+  kLossWindow = 8,      // raise a loss queue's rate for a bounded window
+};
+inline constexpr std::size_t kNumActionKinds = 9;
+
+constexpr std::string_view action_kind_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kWeightUpdate: return "weight_update";
+    case ActionKind::kServiceJoin: return "service_join";
+    case ActionKind::kServiceLeave: return "service_leave";
+    case ActionKind::kLinkRateChange: return "link_rate_change";
+    case ActionKind::kLinkDown: return "link_down";
+    case ActionKind::kLinkUp: return "link_up";
+    case ActionKind::kBufferResize: return "buffer_resize";
+    case ActionKind::kIncastBurst: return "incast_burst";
+    case ActionKind::kLossWindow: return "loss_window";
+  }
+  return "unknown";
+}
+
+// One timeline entry. Only the fields its kind reads are meaningful; the
+// director rejects under-specified actions at arm() time, not mid-run.
+struct Action {
+  Time at = 0;                  // absolute simulation time
+  ActionKind kind = ActionKind::kWeightUpdate;
+  std::string target;           // registered handle name (qdisc / link / loss)
+  int queue = -1;               // service queue (join/leave/incast)
+  std::vector<double> weights;  // weight_update: one positive weight per queue
+  double rate_bps = 0.0;        // link_rate_change
+  std::int64_t bytes = 0;       // buffer_resize: new B; incast_burst: flow size
+  int count = 0;                // incast_burst: number of synchronized flows
+  double loss_rate = 0.0;       // loss_window: probability in [0, 1]
+  Time duration = 0;            // loss_window: window length
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<Action> actions;
+  bool empty() const { return actions.empty(); }
+};
+
+// Knobs for the named catalogue below. Handle names default to the star
+// harness convention (switch egress port facing host 0 = the bottleneck).
+struct ScenarioParams {
+  Time duration = seconds(std::int64_t{10});  // experiment length the timeline spans
+  int num_queues = 4;
+  std::string qdisc = "sw.p0";  // weight_update / buffer_resize target
+  std::string link = "sw.p0";   // link fault target
+  std::string loss;             // loss-queue handle (loss_burst only)
+  std::int64_t buffer_bytes = 85'000;  // restore point for buffer_squeeze
+  int churn_queue = -1;         // service_churn queue; -1 = last queue
+  int incast_fanin = 16;
+  std::int64_t incast_bytes = 20'000;
+  double loss_burst_rate = 0.02;
+};
+
+// Builds one of the named scenarios ("none", "weight_churn", "link_flap",
+// "service_churn", "incast", "loss_burst", "buffer_squeeze", "mixed").
+// Throws std::invalid_argument listing the known names when `name` is not
+// one of them — bench binaries surface that as a clean usage error.
+Scenario make_scenario(std::string_view name, const ScenarioParams& params);
+
+// The catalogue's names, in a fixed order (for --help text and error messages).
+std::vector<std::string> scenario_names();
+
+}  // namespace dynaq::scenario

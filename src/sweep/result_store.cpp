@@ -61,6 +61,8 @@ void write_telemetry(JsonWriter& json, const telemetry::TelemetrySummary& t) {
   json.value(t.exchanged_bytes);
   json.key("ecn_marks");
   json.value(t.ecn_marks);
+  json.key("scenario_actions");
+  json.value(t.scenario_actions);
   json.key("queue_delay");
   json.begin_array();
   for (std::size_t q = 0; q < t.queue_delay.size(); ++q) {
@@ -152,8 +154,9 @@ std::string ResultStore::to_json(const JsonOptions& options,
                                  const std::string& replica_axis) const {
   JsonWriter json;
   json.begin_object();
+  // v4: telemetry gained "scenario_actions" (DESIGN.md §11).
   json.key("schema_version");
-  json.value(3);
+  json.value(4);
   json.key("sweep");
   json.value(name_);
   json.key("mode");

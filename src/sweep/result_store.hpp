@@ -21,7 +21,7 @@ namespace dynaq::sweep {
 // What a job function hands back: scalar metrics, plus (optionally) the
 // experiment's TelemetrySummary so the sweep JSON carries per-job drop
 // reasons and queueing-delay percentiles, plus (optionally) the run's
-// trajectory hash (DESIGN.md §10; schema_version 3, DESIGN.md §7).
+// trajectory hash (DESIGN.md §10; schema_version 4, DESIGN.md §7).
 // Implicitly constructible from a bare metrics map so metrics-only job
 // functions keep working unchanged.
 struct JobResult {

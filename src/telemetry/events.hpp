@@ -47,8 +47,9 @@ enum class EventKind : std::uint8_t {
   kEvict = 2,              // buffered packet displaced to admit an arrival
   kThresholdExchange = 3,  // DynaQ moved `bytes` of threshold victim -> requester
   kEcnMark = 4,
+  kScenarioAction = 5,     // scenario::ScenarioDirector applied a timeline action
 };
-inline constexpr std::size_t kNumEventKinds = 5;
+inline constexpr std::size_t kNumEventKinds = 6;
 
 constexpr std::string_view event_kind_name(EventKind kind) {
   switch (kind) {
@@ -57,6 +58,7 @@ constexpr std::string_view event_kind_name(EventKind kind) {
     case EventKind::kEvict: return "evict";
     case EventKind::kThresholdExchange: return "threshold_exchange";
     case EventKind::kEcnMark: return "ecn_mark";
+    case EventKind::kScenarioAction: return "scenario_action";
   }
   return "unknown";
 }

@@ -59,6 +59,9 @@ void Hub::emit(Event e) {
     case EventKind::kEcnMark:
       ++ecn_marks_;
       break;
+    case EventKind::kScenarioAction:
+      ++scenario_actions_;
+      break;
   }
   if (!ring_.empty()) {
     if (ring_count_ == ring_.size()) ++ring_overwritten_;
@@ -104,6 +107,7 @@ TelemetrySummary Hub::summary() const {
   s.threshold_exchanges = threshold_exchanges_;
   s.exchanged_bytes = exchanged_bytes_;
   s.ecn_marks = ecn_marks_;
+  s.scenario_actions = scenario_actions_;
   s.queue_delay.reserve(delay_hist_.size());
   for (const LogHistogram& h : delay_hist_) {
     QueueDelaySummary q;

@@ -159,6 +159,7 @@ class Hub {
   std::uint64_t threshold_exchanges_ = 0;
   std::int64_t exchanged_bytes_ = 0;
   std::uint64_t ecn_marks_ = 0;
+  std::uint64_t scenario_actions_ = 0;
 
   std::size_t max_delay_queues_;
   std::vector<LogHistogram> delay_hist_;  // indexed by service queue

@@ -28,6 +28,7 @@ struct TelemetrySummary {
   std::uint64_t threshold_exchanges = 0;
   std::int64_t exchanged_bytes = 0;
   std::uint64_t ecn_marks = 0;
+  std::uint64_t scenario_actions = 0;  // mid-run timeline actions applied (DESIGN.md §11)
   std::vector<QueueDelaySummary> queue_delay;  // indexed by service queue
 
   std::uint64_t drops(DropReason reason) const {

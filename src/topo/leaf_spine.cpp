@@ -1,5 +1,9 @@
 #include "topo/leaf_spine.hpp"
 
+#include <string>
+
+#include "scenario/director.hpp"
+
 namespace dynaq::topo {
 namespace {
 
@@ -90,6 +94,16 @@ LeafSpineTopology::LeafSpineTopology(sim::Simulator& sim, LeafSpineConfig config
     spines_[static_cast<std::size_t>(s)]->set_router([this](const net::Packet& p) {
       return leaf_of(static_cast<int>(p.dst));
     });
+  }
+}
+
+void LeafSpineTopology::register_scenario_handles(scenario::ScenarioDirector& director) {
+  // Leaf port (host % hosts_per_leaf) is host's downlink (see constructor).
+  for (int i = 0; i < num_hosts(); ++i) {
+    const std::string down = "down.p" + std::to_string(i);
+    director.register_qdisc(down, downlink_qdisc(i));
+    director.register_link(down, leaf(leaf_of(i)).port(i % config_.hosts_per_leaf));
+    director.register_link("h" + std::to_string(i) + ".nic", host(i).nic());
   }
 }
 

@@ -14,6 +14,10 @@
 #include "topo/scheduler_factory.hpp"
 #include "transport/host_agent.hpp"
 
+namespace dynaq::scenario {
+class ScenarioDirector;
+}
+
 namespace dynaq::topo {
 
 struct LeafSpineConfig {
@@ -55,6 +59,11 @@ class LeafSpineTopology {
 
   // All multi-queue qdiscs in the fabric (for aggregate drop/mark stats).
   const std::vector<net::MultiQueueQdisc*>& all_qdiscs() const { return all_qdiscs_; }
+
+  // Registers every mutable handle with a scenario director (DESIGN.md
+  // §11): per-host downlink qdisc and leaf-egress link "down.p<host>",
+  // host NIC link "h<host>.nic".
+  void register_scenario_handles(scenario::ScenarioDirector& director);
 
   const LeafSpineConfig& config() const { return config_; }
 

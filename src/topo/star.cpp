@@ -1,5 +1,10 @@
 #include "topo/star.hpp"
 
+#include <string>
+
+#include "net/fault_injection.hpp"
+#include "scenario/director.hpp"
+
 namespace dynaq::topo {
 
 StarTopology::StarTopology(sim::Simulator& sim, StarConfig config)
@@ -7,11 +12,23 @@ StarTopology::StarTopology(sim::Simulator& sim, StarConfig config)
   switch_ = std::make_unique<net::Switch>(sim_, /*id=*/0);
 
   for (int h = 0; h < config_.num_hosts; ++h) {
-    // Host NIC: unlimited drop-tail (the testbed's qdisc rate-limits just
-    // below line rate so host-side buffering never drops).
-    auto nic = std::make_unique<net::Port>(
-        sim_, config_.link_rate_bps, config_.link_delay,
-        std::make_unique<net::DropTailQueue>(config_.host_queue_bytes));
+    // Host NIC: finite drop-tail (the testbed's qdisc rate-limits just
+    // below line rate so host-side buffering never drops). With lossy_nics
+    // the queue is a rate-0 Bernoulli loss wrapper instead, giving scenario
+    // loss windows a scriptable handle.
+    std::unique_ptr<net::QueueDisc> nic_queue;
+    if (config_.lossy_nics) {
+      auto lossy = std::make_unique<net::BernoulliLossQueue>(
+          0.0, config_.nic_loss_seed + static_cast<std::uint64_t>(h),
+          config_.host_queue_bytes);
+      nic_loss_.push_back(lossy.get());
+      nic_queue = std::move(lossy);
+    } else {
+      nic_loss_.push_back(nullptr);
+      nic_queue = std::make_unique<net::DropTailQueue>(config_.host_queue_bytes);
+    }
+    auto nic = std::make_unique<net::Port>(sim_, config_.link_rate_bps, config_.link_delay,
+                                           std::move(nic_queue));
     net::Port& nic_ref = *nic;
     hosts_.push_back(std::make_unique<net::Host>(sim_, h, std::move(nic)));
     agents_.push_back(std::make_unique<transport::HostAgent>(*hosts_.back()));
@@ -33,6 +50,19 @@ StarTopology::StarTopology(sim::Simulator& sim, StarConfig config)
 
   // Port i faces host i, so routing is the identity on the destination.
   switch_->set_router([](const net::Packet& p) { return static_cast<int>(p.dst); });
+}
+
+void StarTopology::register_scenario_handles(scenario::ScenarioDirector& director) {
+  for (int i = 0; i < num_hosts(); ++i) {
+    const std::string sw = "sw.p" + std::to_string(i);
+    const std::string nic = "h" + std::to_string(i) + ".nic";
+    director.register_qdisc(sw, port_qdisc(i));
+    director.register_link(sw, fabric().port(i));
+    director.register_link(nic, host(i).nic());
+    if (nic_loss_[static_cast<std::size_t>(i)] != nullptr) {
+      director.register_loss(nic, *nic_loss_[static_cast<std::size_t>(i)]);
+    }
+  }
 }
 
 }  // namespace dynaq::topo

@@ -14,6 +14,13 @@
 #include "topo/scheduler_factory.hpp"
 #include "transport/host_agent.hpp"
 
+namespace dynaq::net {
+class BernoulliLossQueue;
+}
+namespace dynaq::scenario {
+class ScenarioDirector;
+}
+
 namespace dynaq::topo {
 
 struct StarConfig {
@@ -37,6 +44,12 @@ struct StarConfig {
   core::SchemeSpec scheme;
   SchedulerKind scheduler = SchedulerKind::kDrr;
   std::int64_t quantum_base = 1500;
+  // Replace every host NIC queue with a runtime-scriptable Bernoulli loss
+  // queue (initial rate 0 — transparent until a scenario loss_window raises
+  // it, DESIGN.md §11). Draws are seeded per host from nic_loss_seed so
+  // loss placement stays a pure function of the configuration.
+  bool lossy_nics = false;
+  std::uint64_t nic_loss_seed = 0x10552ULL;
 };
 
 class StarTopology {
@@ -52,6 +65,14 @@ class StarTopology {
   // the bottleneck lives when host `i` is the receiver.
   net::MultiQueueQdisc& port_qdisc(int i) { return *port_qdiscs_[static_cast<std::size_t>(i)]; }
 
+  // Host i's NIC loss queue, or nullptr unless config.lossy_nics is set.
+  net::BernoulliLossQueue* nic_loss(int i) { return nic_loss_[static_cast<std::size_t>(i)]; }
+
+  // Registers every mutable handle with a scenario director (DESIGN.md
+  // §11): qdisc and switch-egress link "sw.p<i>", host NIC link (and, when
+  // lossy, loss queue) "h<i>.nic".
+  void register_scenario_handles(scenario::ScenarioDirector& director);
+
   const StarConfig& config() const { return config_; }
 
  private:
@@ -61,6 +82,7 @@ class StarTopology {
   std::vector<std::unique_ptr<net::Host>> hosts_;
   std::vector<std::unique_ptr<transport::HostAgent>> agents_;
   std::vector<net::MultiQueueQdisc*> port_qdiscs_;  // owned by the switch ports
+  std::vector<net::BernoulliLossQueue*> nic_loss_;  // owned by the host NICs; null when not lossy
 };
 
 }  // namespace dynaq::topo

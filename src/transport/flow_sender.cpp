@@ -33,8 +33,16 @@ std::int64_t FlowSender::flow_limit() const {
                              : params_.size_bytes;
 }
 
+void FlowSender::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  // A sender that went fully idle while paused (everything acked, timer
+  // cancelled) restarts its ACK clock here; transmit_segment re-arms the RTO.
+  if (started_ && !complete_) send_available();
+}
+
 bool FlowSender::may_send_new_data() const {
-  if (!started_ || complete_) return false;
+  if (!started_ || complete_ || paused_) return false;
   if (static_cast<std::int64_t>(snd_nxt_) >= flow_limit()) return false;
   if (params_.unbounded() && params_.stop > 0 && sim_.now() >= params_.stop) return false;
   return true;

@@ -38,6 +38,13 @@ class FlowSender {
   // ACK arrival from the network (invoked by the host agent).
   void on_ack(const net::Packet& ack);
 
+  // Scenario service_leave / service_join (DESIGN.md §11): a paused sender
+  // injects no new data but keeps processing ACKs for bytes already in
+  // flight, so the flow drains cleanly and resumes where it left off.
+  void pause() { paused_ = true; }
+  void resume();
+  bool paused() const { return paused_; }
+
   bool complete() const { return complete_; }
   const FlowParams& params() const { return params_; }
   const SenderStats& stats() const { return stats_; }
@@ -88,6 +95,7 @@ class FlowSender {
   std::uint64_t highest_sent_ = 0;  // high-water mark of transmitted bytes
   bool started_ = false;
   bool complete_ = false;
+  bool paused_ = false;  // service_leave gate; see pause()/resume()
 
   // Fast retransmit / recovery. `recover_point_` persists after recovery
   // exits and implements RFC 6582's "recover" guard: dupACKs belonging to a

@@ -28,6 +28,11 @@
 #  10. Determinism hazards (DESIGN.md §10) are delegated to tools/detlint:
 #      unordered-container iteration, wall-clock/raw-rand use in models,
 #      pointer-keyed ordering, unordered reductions.
+#  11. Scenario actions mutate components only via registered handle methods
+#      (set_weights, resize_buffer, set_link_down/up, set_rate,
+#      set_loss_rate, pause/resume — DESIGN.md §11): src/scenario must never
+#      reach into buffer state (MqState, ServiceQueue, packet deques), so
+#      every mutation stays inside the audited component APIs.
 #   8. Instrumentation goes through telemetry::Hub (DESIGN.md §8): no
 #      ad-hoc per-port callback mutation. The last-writer-wins Port
 #      callbacks (on_transmit_start/on_deliver) were replaced by the hub's
@@ -130,6 +135,15 @@ hits=$(grep -rnE 'schedule_(at|in)[^;]*std::function' src/ bench/ examples/ test
 if [[ -n "$hits" ]]; then
   complain "eventfn-not-stdfunction" \
     "pass lambdas/functors to schedule_at/schedule_in directly (std::function defeats inline event storage):" \
+    "$hits"
+fi
+
+# -- 11. scenario mutates only via registered handles (DESIGN.md §11) --------
+hits=$(grep -rnE '\bMqState\b|\bServiceQueue\b|\.packets\b|->packets\b' src/scenario/ \
+  | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "scenario-via-handles" \
+    "src/scenario mutates components only through registered handle methods, never raw buffer/queue state:" \
     "$hits"
 fi
 

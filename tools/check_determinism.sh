@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Trajectory-hash differential gate (DESIGN.md §10). Runs the Fig. 8 smoke
 # sweep through bench/fig08_fct_non_ecn and asserts, via the per-job
-# trajectory_hash fields in the sweep JSON (schema_version 3):
+# trajectory_hash fields in the sweep JSON (schema_version 4):
 #
 #   1. repeat:   the same command twice yields identical hash sets;
 #   2. jobs:     --jobs 1 and --jobs 4 yield identical hash sets (worker
 #                count must not leak into any trajectory);
 #   3. seed:     a different --seeds set yields disjoint hashes (the oracle
-#                actually discriminates — it is not a constant).
+#                actually discriminates — it is not a constant);
+#   4. scenario: the rob_weight_churn timeline (mid-run audited weight
+#                rebalances, DESIGN.md §11) satisfies the same properties —
+#                scenario actions are part of the trajectory, not a source
+#                of nondeterminism.
 #
 # Usage: check_determinism.sh <build-dir>
 set -eu
@@ -57,7 +61,32 @@ if [[ $(printf '%s\n' "$a" | wc -l) -lt 2 || "$a" != *trajectory_hash* ]]; then
   fail=1
 fi
 
+# -- scenario runs (DESIGN.md §11) ------------------------------------------
+rbin="$build/bench/rob_weight_churn"
+[[ -x "$rbin" ]] || { echo "check_determinism: $rbin not built" >&2; exit 1; }
+
+run_scn() {  # run_scn <outdir> <extra flags...>
+  local out="$work/$1"
+  shift
+  mkdir -p "$out"
+  "$rbin" --duration-s=1 --schemes=DynaQ,BestEffort --strict \
+    --json "$out" "$@" > /dev/null
+  grep -o '"trajectory_hash":"0x[0-9a-f]*"' "$out/rob_weight_churn.json" | sort
+}
+
+sa=$(run_scn scn_repeat_a --seeds=1,2 --jobs=1)
+sb=$(run_scn scn_repeat_b --seeds=1,2 --jobs=1)
+expect_equal "scenario: same seed, repeated run" "$sa" "$sb"
+sj=$(run_scn scn_jobs_4 --seeds=1,2 --jobs=4)
+expect_equal "scenario: --jobs 1 vs --jobs 4" "$sa" "$sj"
+ss=$(run_scn scn_seed_b --seeds=3,4 --jobs=2)
+if [[ -n "$(comm -12 <(printf '%s\n' "$sa") <(printf '%s\n' "$ss"))" ]]; then
+  echo "check_determinism: FAILED (scenario: different seeds produced a shared hash):"
+  comm -12 <(printf '%s\n' "$sa") <(printf '%s\n' "$ss") | sed 's/^/  /'
+  fail=1
+fi
+
 if [[ $fail -eq 0 ]]; then
-  echo "check_determinism: OK (repeat, --jobs 1 vs 4, seed sensitivity)"
+  echo "check_determinism: OK (repeat, --jobs 1 vs 4, seed sensitivity, scenario runs)"
 fi
 exit $fail

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "bench/common.hpp"
+#include "harness/scenario_cli.hpp"
 #include "scenario/scenario.hpp"
 
 using namespace dynaq;
@@ -73,6 +74,7 @@ sweep::JobResult run_job(const sweep::JobPoint& point, Time duration,
 
 int main(int argc, char** argv) {
   const harness::Cli cli(argc, argv);
+  if (harness::list_scenarios_requested(cli)) return 0;
   const bool full = cli.flag("full");
   const Time duration = seconds(cli.real("duration-s", full ? 10.0 : 4.0));
   const auto seeds = cli.reals("seeds", {1, 2, 3});

@@ -68,6 +68,10 @@ for abl in abl_victim_selection abl_satisfaction abl_dt_baseline abl_eviction \
   run "$BUILD_DIR/bench/$abl"
 done
 
+# Competitive-ratio ablation vs. the offline-optimal oracle (DESIGN.md
+# §12): per-job oracle blocks land in json/abl_competitive.json.
+run "$BUILD_DIR/bench/abl_competitive" $FULL_FLAG "$JOBS_FLAG" --json "$OUT_DIR/json"
+
 # Robustness sweeps under mid-run scenarios (DESIGN.md §11): weight churn
 # and bottleneck link flaps, DynaQ vs DT vs shared-pool baselines.
 for rob in rob_weight_churn rob_link_flap; do

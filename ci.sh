@@ -66,6 +66,11 @@ if [[ $skip_asan -eq 0 ]]; then
       --schemes=DynaQ --seeds=1 --strict > /dev/null
   ASAN_OPTIONS=detect_leaks=1 build-asan/bench/rob_weight_churn --duration-s=1 \
       --scenario=mixed --schemes=DynaQ --seeds=1 --strict > /dev/null
+  echo "==> [2/4] ASan+UBSan oracle smoke (abl_competitive, DESIGN.md §12)"
+  # Trace recording off the hub taps + the offline-optimal replay under the
+  # sanitizers, covering the new LQD/Harmonic policies under audit.
+  ASAN_OPTIONS=detect_leaks=1 build-asan/bench/abl_competitive --flows=120 \
+      --seeds=1 --schemes=DynaQ,LQD,Harmonic --strict > /dev/null
 else
   echo "==> [2/4] ASan+UBSan ctest (skipped)"
 fi

@@ -29,6 +29,79 @@ bool DynamicThresholdPolicy::admit(const net::MqState& state, int q, const net::
   return state.queue(q).bytes + p.size <= threshold;
 }
 
+// ----------------------------------------------------------------- LQD --
+
+int LongestQueueDropPolicy::evict_candidate(const net::MqState& state, int q,
+                                            const net::Packet& p) {
+  // Push out from the longest queue — but only if it is strictly longer
+  // than the arriving queue would be with the packet accepted; otherwise
+  // the arrival itself belongs to the longest queue and is the drop victim.
+  // Ties go to the lowest index for determinism.
+  const std::int64_t arriving = state.queue(q).bytes + p.size;
+  int best = -1;
+  std::int64_t best_bytes = arriving;
+  for (int i = 0; i < state.num_queues(); ++i) {
+    if (i == q || state.queue(i).empty()) continue;
+    if (state.queue(i).bytes > best_bytes) {
+      best = i;
+      best_bytes = state.queue(i).bytes;
+    }
+  }
+  return best;
+}
+
+// ------------------------------------------------------------ Harmonic --
+
+void HarmonicPolicy::attach(const net::MqState& state) {
+  buffer_bytes_ = state.buffer_bytes;
+  harmonic_n_ = 0.0;
+  for (int i = 1; i <= state.num_queues(); ++i) harmonic_n_ += 1.0 / i;
+  lengths_.clear();
+  for (const net::ServiceQueue& q : state.queues) lengths_.push_back(q.bytes);
+}
+
+std::int64_t HarmonicPolicy::cap_for_rank(int rank) const {
+  return static_cast<std::int64_t>(
+      std::floor(static_cast<double>(buffer_bytes_) / (rank * harmonic_n_)));
+}
+
+int HarmonicPolicy::rank_of(const std::vector<std::int64_t>& lengths, int q) const {
+  const auto uq = static_cast<std::size_t>(q);
+  int rank = 1;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (i == uq) continue;
+    if (lengths[i] > lengths[uq] || (lengths[i] == lengths[uq] && i < uq)) ++rank;
+  }
+  return rank;
+}
+
+bool HarmonicPolicy::admit(const net::MqState& state, int q, const net::Packet& p) {
+  // The decision is exactly the enforced-threshold predicate the auditor
+  // re-checks: q_p + size ≤ B / (rank(q) · H_n). Accepting can only improve
+  // q's rank (longer → smaller rank number → larger cap), so the admitted
+  // packet still fits under the post-enqueue threshold.
+  return state.queue(q).bytes + p.size <=
+         cap_for_rank(rank_of(lengths_, q));
+}
+
+void HarmonicPolicy::on_enqueue(const net::MqState& state, int q, const net::Packet& p) {
+  (void)state;
+  lengths_[static_cast<std::size_t>(q)] += p.size;
+}
+
+void HarmonicPolicy::on_dequeue(const net::MqState& state, int q, const net::Packet& p) {
+  (void)state;
+  lengths_[static_cast<std::size_t>(q)] -= p.size;
+}
+
+std::vector<std::int64_t> HarmonicPolicy::thresholds() const {
+  std::vector<std::int64_t> caps(lengths_.size(), 0);
+  for (std::size_t q = 0; q < lengths_.size(); ++q) {
+    caps[q] = cap_for_rank(rank_of(lengths_, static_cast<int>(q)));
+  }
+  return caps;
+}
+
 // --------------------------------------------------------------- DynaQ --
 
 void DynaQPolicy::attach(const net::MqState& state) {

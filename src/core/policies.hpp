@@ -58,6 +58,57 @@ class DynamicThresholdPolicy final : public net::BufferPolicy {
   const net::SharedMemoryPool* pool_;
 };
 
+// Longest-Queue-Drop (Matsakis; 1.5-competitive for shared-buffer output
+// queueing — the literature yardstick bench/abl_competitive measures
+// against): admit every arrival, and when the buffer is physically full
+// push out tail packets of the longest queue. If the arriving queue itself
+// would be the longest, the arrival is dropped instead (surfacing as a
+// port_full drop, since the policy did admit it).
+class LongestQueueDropPolicy final : public net::BufferPolicy {
+ public:
+  bool admit(const net::MqState& state, int q, const net::Packet& p) override {
+    (void)state, (void)q, (void)p;
+    return true;
+  }
+  int evict_candidate(const net::MqState& state, int q, const net::Packet& p) override;
+  // No thresholds at all: admission is the physical bound plus push-out, so
+  // there is no ΣT = B sum to conserve and nothing to enforce.
+  bool conserves_threshold_sum() const override { return false; }
+  bool enforces_thresholds() const override { return false; }
+  std::string_view name() const override { return "lqd"; }
+};
+
+// The Harmonic policy (Addanki, Pacut & Schmid; (2 + ln n)-competitive):
+// the i-th longest queue may hold at most B / (i · H_n) bytes, H_n the n-th
+// harmonic number — the longest queue gets the biggest cap, so the caps sum
+// to B while still guaranteeing every queue a share. Ranks are recomputed
+// per admission, deterministically (bytes descending, index ascending).
+class HarmonicPolicy final : public net::BufferPolicy {
+ public:
+  void attach(const net::MqState& state) override;
+  bool admit(const net::MqState& state, int q, const net::Packet& p) override;
+  void on_buffer_resize(const net::MqState& state) override { attach(state); }
+  void on_enqueue(const net::MqState& state, int q, const net::Packet& p) override;
+  void on_dequeue(const net::MqState& state, int q, const net::Packet& p) override;
+  std::vector<std::int64_t> thresholds() const override;
+  // Caps floor to B/(i·H_n), so their sum falls (slightly) short of B — no
+  // conservation claim; admission, though, is exactly q_p + size ≤ T_p.
+  bool conserves_threshold_sum() const override { return false; }
+  bool enforces_thresholds() const override { return true; }
+  std::string_view name() const override { return "harmonic"; }
+
+ private:
+  // Cap for the queue currently ranked `rank` (1-based; rank 1 = longest).
+  std::int64_t cap_for_rank(int rank) const;
+  // 1-based rank of queue q under (bytes desc, index asc) — deterministic.
+  int rank_of(const std::vector<std::int64_t>& lengths, int q) const;
+
+  std::int64_t buffer_bytes_ = 0;
+  double harmonic_n_ = 1.0;             // H_n for the attached queue count
+  std::vector<std::int64_t> lengths_;   // mirror of per-queue occupancy, so
+                                        // thresholds() works without state
+};
+
 // DynaQ: dynamic packet-dropping thresholds per Algorithm 1, delegating to
 // the pure DynaQController.
 class DynaQPolicy : public net::BufferPolicy {

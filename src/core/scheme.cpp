@@ -11,6 +11,8 @@ std::string_view scheme_name(SchemeKind kind) {
     case SchemeKind::kBestEffort: return "BestEffort";
     case SchemeKind::kPql: return "PQL";
     case SchemeKind::kDynamicThreshold: return "DT";
+    case SchemeKind::kLongestQueueDrop: return "LQD";
+    case SchemeKind::kHarmonic: return "Harmonic";
     case SchemeKind::kDynaQEcn: return "DynaQ+ECN";
     case SchemeKind::kTcn: return "TCN";
     case SchemeKind::kPmsb: return "PMSB";
@@ -22,9 +24,10 @@ std::string_view scheme_name(SchemeKind kind) {
 
 SchemeKind parse_scheme(std::string_view name) {
   for (SchemeKind k : {SchemeKind::kDynaQ, SchemeKind::kDynaQEvict, SchemeKind::kBestEffort,
-                       SchemeKind::kPql, SchemeKind::kDynamicThreshold, SchemeKind::kDynaQEcn,
-                       SchemeKind::kTcn, SchemeKind::kPmsb, SchemeKind::kPerQueueEcn,
-                       SchemeKind::kMqEcn}) {
+                       SchemeKind::kPql, SchemeKind::kDynamicThreshold,
+                       SchemeKind::kLongestQueueDrop, SchemeKind::kHarmonic,
+                       SchemeKind::kDynaQEcn, SchemeKind::kTcn, SchemeKind::kPmsb,
+                       SchemeKind::kPerQueueEcn, SchemeKind::kMqEcn}) {
     if (name == scheme_name(k)) return k;
   }
   throw std::invalid_argument("unknown scheme: " + std::string(name));
@@ -54,6 +57,10 @@ std::unique_ptr<net::BufferPolicy> make_policy(const SchemeSpec& spec) {
       return std::make_unique<PqlPolicy>();
     case SchemeKind::kDynamicThreshold:
       return std::make_unique<DynamicThresholdPolicy>(spec.dt_alpha);
+    case SchemeKind::kLongestQueueDrop:
+      return std::make_unique<LongestQueueDropPolicy>();
+    case SchemeKind::kHarmonic:
+      return std::make_unique<HarmonicPolicy>();
     case SchemeKind::kBestEffort:
     case SchemeKind::kDynaQEcn:  // §III-B3: thresholds frozen, buffer shared
     case SchemeKind::kTcn:

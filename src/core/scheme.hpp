@@ -25,6 +25,8 @@ enum class SchemeKind {
   kBestEffort,        // shared buffer, physical bound only
   kPql,               // static per-queue quota
   kDynamicThreshold,  // classic DT (ablation)
+  kLongestQueueDrop,  // LQD push-out (1.5-competitive; oracle baseline)
+  kHarmonic,          // Harmonic rank caps ((2+ln n)-competitive; oracle baseline)
   kDynaQEcn,          // DynaQ with ECN transports: frozen thresholds + PMSB marking
   kTcn,               // shared buffer + sojourn-time dequeue marking
   kPmsb,              // shared buffer + port∧queue marking

@@ -5,6 +5,7 @@
 
 #include "check/invariant_auditor.hpp"
 #include "check/trajectory_hash.hpp"
+#include "oracle/trace_recorder.hpp"
 #include "scenario/director.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -32,14 +33,29 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
   // One hub per simulator (DESIGN.md §8): the bottleneck switch port and
   // every host NIC report into it; queue_samples ride the hub's series.
   const bool collect = config.collect_telemetry || config.queue_samples > 0;
-  telemetry::Hub hub(sim, {.enabled = collect || config.fingerprint_trajectory,
-                           .ring_capacity = config.telemetry_ring,
-                           .fingerprint = config.fingerprint_trajectory});
+  telemetry::Hub hub(sim,
+                     {.enabled = collect || config.fingerprint_trajectory ||
+                                 config.oracle_competitive,
+                      .ring_capacity = config.telemetry_ring,
+                      .fingerprint = config.fingerprint_trajectory});
+  const std::string bottleneck_name = "sw.p" + std::to_string(config.receiver_host);
   if (hub.enabled()) {
-    bottleneck.attach_telemetry(hub, "sw.p" + std::to_string(config.receiver_host));
+    bottleneck.attach_telemetry(hub, bottleneck_name);
     for (int i = 0; i < topo.num_hosts(); ++i) {
       topo.host(i).nic().attach_telemetry(hub, "h" + std::to_string(i) + ".nic");
     }
+  }
+  // Oracle trace (DESIGN.md §12): drains come off the egress Port's wire
+  // taps, so the port joins the hub under the same observation-point name
+  // as its qdisc (switch port index == host index on a star).
+  std::optional<oracle::ArrivalTraceRecorder> oracle_recorder;
+  if (config.oracle_competitive) {
+    topo.fabric().port(config.receiver_host).attach_telemetry(hub, bottleneck_name);
+    oracle_recorder.emplace(
+        hub, oracle::TraceRecorderConfig{
+                 bottleneck_name,
+                 config.star.link_rate_bps * config.star.egress_rate_factor,
+                 config.star.buffer_bytes, config.star.queue_weights});
   }
   if (config.queue_samples > 0) {
     hub.enable_queue_sampling(config.queue_samples, config.queue_sample_skip);
@@ -149,6 +165,10 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
       }
     }
     result.trajectory_hash = th.value();
+  }
+  if (oracle_recorder) {
+    oracle_recorder->set_horizon(sim.now());
+    result.oracle = oracle::evaluate(oracle_recorder->trace());
   }
   return result;
 }

@@ -5,11 +5,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include <string>
 
 #include "net/multi_queue_qdisc.hpp"
+#include "oracle/report.hpp"
 #include "scenario/scenario.hpp"
 #include "stats/queue_sampler.hpp"
 #include "stats/throughput_meter.hpp"
@@ -63,6 +65,16 @@ struct StaticExperimentConfig {
   // pop stream + telemetry event bus + per-port audit ledgers. Equal seeds
   // must yield equal hashes; ci.sh diffs them across repeat/jobs/seed runs.
   bool fingerprint_trajectory = true;
+  // Record the bottleneck port's arrival/drain trace off the telemetry taps
+  // and evaluate the clairvoyant offline-optimal allocator over it
+  // (DESIGN.md §12): the result carries an oracle::Report with empirical
+  // competitive ratios. Off by default — recording buffers one TraceEvent
+  // per packet operation at the port. Wire taps are not folded into the
+  // trajectory fingerprint, so turning this on leaves trajectory_hash
+  // byte-identical. Scenario timelines that resize the buffer or rewrite
+  // weights mid-run make the bound approximate (the solver replays the
+  // configured values).
+  bool oracle_competitive = false;
   // Optional mid-run timeline (DESIGN.md §11): a ScenarioDirector is built
   // over the topology's registered handles, every sender is registered
   // under its group's queue, and incast bursts spawn short flows toward
@@ -81,6 +93,9 @@ struct StaticExperimentResult {
   std::vector<std::string> telemetry_ports;        // observation-point names
   std::uint64_t trajectory_hash = 0;  // 0 when fingerprint_trajectory is off
   std::uint64_t scenario_actions = 0;  // timeline mutations applied (DESIGN.md §11)
+  // Competitive ratios vs. the offline optimum (DESIGN.md §12); set iff
+  // config.oracle_competitive.
+  std::optional<oracle::Report> oracle{};
 };
 
 StaticExperimentResult run_static_experiment(const StaticExperimentConfig& config);

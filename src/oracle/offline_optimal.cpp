@@ -1,0 +1,182 @@
+#include "oracle/offline_optimal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynaq::oracle {
+namespace {
+
+// Fluid-backlog positivity cutoff in bytes: far below one byte, far above
+// the accumulated rounding error of any realistic trace.
+constexpr double kEps = 1e-6;
+
+}  // namespace
+
+OfflineOptimalResult OfflineOptimal::solve(const ArrivalTrace& trace) {
+  OfflineOptimalResult r;
+
+  // Queue count: the weight vector, widened if the trace mentions a higher
+  // index (unknown queues get weight 1 — they existed, we just were not
+  // told their share).
+  int n = trace.num_queues();
+  for (const TraceEvent& e : trace.events) {
+    n = std::max(n, static_cast<int>(e.queue) + 1);
+  }
+  n = std::max(n, 1);
+  std::vector<double> w(trace.weights);
+  w.resize(static_cast<std::size_t>(n), 1.0);
+  double total_weight = 0.0;
+  for (double wi : w) total_weight += std::max(wi, 0.0);
+
+  const double rate = trace.line_rate_bps / 8.0 / 1e12;  // bytes per picosecond
+
+  // Capacity: the shared buffer plus one serializer slot. The online
+  // policy's system holds up to B in the qdisc *and* one packet already
+  // dequeued into the transmitter (drains are recorded at serialization
+  // start), so an optimum capped at exactly B could fall below the policy
+  // on bursty traces. Granting the same slot — sized by the largest packet
+  // the trace ever saw — restores the domination argument (see header).
+  std::int32_t serializer_slot = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEventKind::kAdmit || e.kind == TraceEventKind::kDrain) {
+      serializer_slot = std::max(serializer_slot, e.bytes);
+    }
+  }
+  const double buffer = static_cast<double>(trace.buffer_bytes + serializer_slot);
+
+  // Clairvoyant horizon: at least the observation window, and always past
+  // the serialization window of the last recorded drain, so every byte the
+  // policy put on the wire fits inside the optimum's service budget.
+  double horizon = static_cast<double>(trace.horizon);
+  for (const TraceEvent& e : trace.events) {
+    horizon = std::max(horizon, static_cast<double>(e.when));
+    if (e.kind == TraceEventKind::kDrain && rate > 0.0) {
+      horizon = std::max(horizon, static_cast<double>(e.when) + e.bytes / rate);
+    }
+  }
+  r.horizon = static_cast<Time>(std::ceil(horizon));
+
+  std::vector<double> backlog(static_cast<std::size_t>(n), 0.0);    // fluid bytes buffered
+  std::vector<double> delivered(static_cast<std::size_t>(n), 0.0);  // fluid bytes served
+  std::vector<double> share(static_cast<std::size_t>(n), 0.0);      // scratch: GPS rates
+  r.optimal_bytes_per_queue.assign(static_cast<std::size_t>(n), 0.0);
+  r.policy_bytes_per_queue.assign(static_cast<std::size_t>(n), 0);
+  r.offered_bytes_per_queue.assign(static_cast<std::size_t>(n), 0);
+  double occupancy = 0.0;
+
+  // GPS fluid drain from `t` to `to`: piecewise-constant shares, advancing
+  // to the next queue-empties breakpoint; at most n+1 segments per call.
+  auto advance = [&](double t, double to) {
+    if (rate <= 0.0) return;
+    while (t < to) {
+      double active_weight = 0.0;
+      int active = 0;
+      for (int i = 0; i < n; ++i) {
+        if (backlog[static_cast<std::size_t>(i)] > kEps) {
+          active_weight += std::max(w[static_cast<std::size_t>(i)], 0.0);
+          ++active;
+        }
+      }
+      if (active == 0) return;
+      double dt = to - t;
+      for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        if (backlog[ui] <= kEps) {
+          share[ui] = 0.0;
+          continue;
+        }
+        // Zero-weight queues still drain once every weighted queue is idle
+        // (the packet scheduler below is work-conserving too).
+        share[ui] = active_weight > 0.0 ? rate * std::max(w[ui], 0.0) / active_weight
+                                        : rate / active;
+        if (share[ui] > 0.0) dt = std::min(dt, backlog[ui] / share[ui]);
+      }
+      if (dt <= 0.0) dt = to - t;  // numeric floor: finish the interval
+      for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const double served = std::min(backlog[ui], share[ui] * dt);
+        backlog[ui] -= served;
+        delivered[ui] += served;
+        occupancy -= served;
+      }
+      t += dt;
+    }
+  };
+
+  // Regret step: shed exactly the overflow, from the queue with the most
+  // stranded backlog — backlog beyond its guaranteed GPS service for the
+  // remaining horizon (this is where clairvoyance enters). The aggregate
+  // optimum is invariant to this choice (see header); ties go to the lowest
+  // index for determinism.
+  auto push_out = [&](double t, double excess) {
+    const double remaining = std::max(horizon - t, 0.0);
+    while (excess > kEps) {
+      int victim = -1;
+      double worst = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        if (backlog[ui] <= kEps) continue;
+        const double guaranteed =
+            total_weight > 0.0 ? rate * std::max(w[ui], 0.0) / total_weight * remaining : 0.0;
+        const double stranded = backlog[ui] - guaranteed;
+        if (victim < 0 || stranded > worst) {
+          victim = i;
+          worst = stranded;
+        }
+      }
+      if (victim < 0) return;  // nothing buffered: occupancy drift, ignore
+      const auto uv = static_cast<std::size_t>(victim);
+      const double removed = std::min(excess, backlog[uv]);
+      backlog[uv] -= removed;
+      occupancy -= removed;
+      excess -= removed;
+      ++r.opt_pushouts;
+      r.opt_pushout_bytes += removed;
+    }
+  };
+
+  double now = 0.0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.queue < 0) continue;  // malformed record: no queue to charge
+    const double when = static_cast<double>(e.when);
+    if (when > now) {
+      advance(now, when);
+      now = when;
+    }
+    const auto q = static_cast<std::size_t>(e.queue);
+    switch (e.kind) {
+      case TraceEventKind::kAdmit:
+      case TraceEventKind::kDrop: {
+        // Offered load: what the online policy decided is irrelevant to the
+        // optimum — it sees the arrival either way.
+        ++r.arrivals;
+        r.offered_bytes += e.bytes;
+        r.offered_bytes_per_queue[q] += e.bytes;
+        backlog[q] += e.bytes;
+        occupancy += e.bytes;
+        if (occupancy > buffer) push_out(now, occupancy - buffer);
+        if (e.kind == TraceEventKind::kDrop) ++r.policy_drops;
+        break;
+      }
+      case TraceEventKind::kEvict:
+        // The online policy displacing its own buffered packet is not an
+        // arrival; the optimum already counted that packet when it arrived.
+        ++r.policy_evictions;
+        break;
+      case TraceEventKind::kDrain:
+        r.policy_bytes += e.bytes;
+        r.policy_bytes_per_queue[q] += e.bytes;
+        break;
+    }
+  }
+  advance(now, horizon);
+
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    r.optimal_bytes_per_queue[ui] = delivered[ui];
+    r.optimal_bytes += delivered[ui];
+  }
+  return r;
+}
+
+}  // namespace dynaq::oracle

@@ -1,0 +1,59 @@
+// Clairvoyant shared-buffer allocator replayed over a recorded ArrivalTrace
+// (DESIGN.md §12): an upper bound on the bytes any online buffer-sharing
+// policy could have delivered for the same arrival sequence.
+//
+// Model: a fluid server of rate R (the port's line rate) drains a shared
+// buffer under GPS with the trace's scheduler weights. Capacity is B plus
+// one serializer slot (the largest recorded packet): the online system
+// holds up to B in the qdisc *and* one packet already dequeued into the
+// transmitter, and the optimum is granted the same physical resources.
+// Every recorded arrival (admit + drop — the offered load, independent of
+// what the online policy decided) is accepted greedily; whenever occupancy
+// exceeds capacity the solver regrets exactly the overflow, pushing fluid
+// out of the queue with the most stranded backlog (backlog beyond its
+// guaranteed service for the remaining horizon — clairvoyance is knowing
+// the horizon). Rollback is exact: a pushed-out arrival never consumed
+// service.
+//
+// Why the aggregate is a true upper bound: the fluid server is
+// work-conserving, so aggregate delivered = R · measure{occupancy > 0}
+// regardless of which victim the regret step picks. By induction the
+// optimum's unfinished work dominates the policy system's (both serve at
+// R; the optimum admits a superset and sheds only down to a capacity the
+// policy system never exceeds), so the optimum's busy set covers the
+// policy's, and with the horizon extended past the last recorded drain's
+// serialization window, recorded policy bytes ≤ R · (policy busy time) ≤
+// optimal bytes. Victim choice only shapes the per-queue split (reported
+// for diagnosis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oracle/trace.hpp"
+
+namespace dynaq::oracle {
+
+struct OfflineOptimalResult {
+  // Clairvoyant upper bound (fluid, hence double) vs. the recorded policy.
+  double optimal_bytes = 0.0;
+  std::int64_t policy_bytes = 0;   // recorded drains (serialization starts)
+  std::int64_t offered_bytes = 0;  // recorded admits + drops
+  std::vector<double> optimal_bytes_per_queue;
+  std::vector<std::int64_t> policy_bytes_per_queue;
+  std::vector<std::int64_t> offered_bytes_per_queue;
+
+  std::uint64_t arrivals = 0;          // offered packets
+  std::uint64_t policy_drops = 0;      // recorded drop events
+  std::uint64_t policy_evictions = 0;  // recorded evict events
+  std::uint64_t opt_pushouts = 0;      // regret steps the clairvoyant took
+  double opt_pushout_bytes = 0.0;      // fluid it rolled back
+  Time horizon = 0;                    // extended horizon actually replayed
+};
+
+class OfflineOptimal {
+ public:
+  static OfflineOptimalResult solve(const ArrivalTrace& trace);
+};
+
+}  // namespace dynaq::oracle

@@ -1,0 +1,45 @@
+#include "oracle/report.hpp"
+
+namespace dynaq::oracle {
+namespace {
+
+// Below one byte both sides are noise: call the ratio 1. A zero-delivery
+// policy against a real optimum has no finite ratio; report -1.
+double safe_ratio(double optimal, double policy) {
+  if (policy >= 1.0) return optimal / policy;
+  return optimal < 1.0 ? 1.0 : -1.0;
+}
+
+}  // namespace
+
+Report evaluate(const ArrivalTrace& trace) {
+  const OfflineOptimalResult opt = OfflineOptimal::solve(trace);
+
+  Report report;
+  report.port = trace.port;
+  report.offered_bytes = opt.offered_bytes;
+  report.policy_bytes = opt.policy_bytes;
+  report.optimal_bytes = opt.optimal_bytes;
+  report.ratio = safe_ratio(opt.optimal_bytes, static_cast<double>(opt.policy_bytes));
+  report.arrivals = opt.arrivals;
+  report.policy_drops = opt.policy_drops;
+  report.policy_evictions = opt.policy_evictions;
+  report.opt_pushouts = opt.opt_pushouts;
+  report.trace_events = trace.events.size();
+  report.trace_fingerprint = trace.fingerprint();
+
+  const std::size_t n = opt.optimal_bytes_per_queue.size();
+  report.queues.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    QueueRatio q;
+    q.queue = static_cast<int>(i);
+    q.offered_bytes = opt.offered_bytes_per_queue[i];
+    q.policy_bytes = opt.policy_bytes_per_queue[i];
+    q.optimal_bytes = opt.optimal_bytes_per_queue[i];
+    q.ratio = safe_ratio(q.optimal_bytes, static_cast<double>(q.policy_bytes));
+    report.queues.push_back(q);
+  }
+  return report;
+}
+
+}  // namespace dynaq::oracle

@@ -1,0 +1,46 @@
+// Empirical competitive ratios: clairvoyant optimal bytes / policy bytes,
+// per queue and aggregate, packaged for harness results and sweep JSON
+// (schema_version 5, DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/offline_optimal.hpp"
+#include "oracle/trace.hpp"
+
+namespace dynaq::oracle {
+
+struct QueueRatio {
+  int queue = 0;
+  std::int64_t offered_bytes = 0;
+  std::int64_t policy_bytes = 0;
+  double optimal_bytes = 0.0;
+  // optimal / policy; 1.0 when both are (near) zero, -1.0 when the policy
+  // delivered nothing against a nonzero optimum (ratio undefined). Note the
+  // aggregate bound is what the theory guarantees — a per-queue ratio may
+  // dip below 1 because the clairvoyant split differs from the policy's.
+  double ratio = 1.0;
+};
+
+struct Report {
+  std::string port;  // observation point the trace was recorded at
+  std::int64_t offered_bytes = 0;
+  std::int64_t policy_bytes = 0;
+  double optimal_bytes = 0.0;
+  double ratio = 1.0;  // aggregate competitive ratio (optimal / policy, >= 1)
+  std::vector<QueueRatio> queues;
+
+  std::uint64_t arrivals = 0;
+  std::uint64_t policy_drops = 0;
+  std::uint64_t policy_evictions = 0;
+  std::uint64_t opt_pushouts = 0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_fingerprint = 0;  // record→replay identity checks
+};
+
+// Solve the trace and package the ratios.
+Report evaluate(const ArrivalTrace& trace);
+
+}  // namespace dynaq::oracle

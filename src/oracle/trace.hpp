@@ -1,0 +1,79 @@
+// The offline-optimal oracle's input: a compact, deterministic record of
+// everything that crossed one switch egress port (DESIGN.md §12).
+//
+// A trace is built exclusively from telemetry::Hub observations — the event
+// bus (enqueue/drop/evict) plus the wire taps (serialization starts) — so
+// the subsystem sits at the bottom of the dependency stack next to
+// telemetry: it never includes queue internals (check_conventions.sh rule
+// 12) and attaching a recorder cannot perturb a run (wire taps are not
+// folded into the hub's trajectory fingerprint).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/fingerprint.hpp"
+#include "sim/time.hpp"
+
+namespace dynaq::oracle {
+
+enum class TraceEventKind : std::uint8_t {
+  kAdmit = 0,  // the policy accepted the arrival into the shared buffer
+  kDrop = 1,   // the policy (or the physical bound) refused the arrival
+  kEvict = 2,  // a buffered packet was displaced to admit an arrival
+  kDrain = 3,  // serialization onto the wire started (bytes left the buffer)
+};
+
+constexpr std::string_view trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAdmit: return "admit";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kEvict: return "evict";
+    case TraceEventKind::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+struct TraceEvent {
+  Time when = 0;
+  TraceEventKind kind = TraceEventKind::kAdmit;
+  std::int16_t queue = -1;  // service queue at the observation point
+  std::int32_t bytes = 0;   // packet size
+};
+
+// Everything the clairvoyant solver needs to replay one port: the arrival
+// sequence (admits + drops = offered load), the policy's realized drains,
+// and the physical resources (shared buffer, line rate, scheduler weights)
+// the optimum must respect. Events appear in emission order, which the
+// single-threaded engine keeps deterministic per seed.
+struct ArrivalTrace {
+  std::string port;             // hub observation-point name, e.g. "sw.p0"
+  double line_rate_bps = 0.0;   // effective egress line rate
+  std::int64_t buffer_bytes = 0;
+  std::vector<double> weights;  // scheduler weight per service queue
+  Time horizon = 0;             // end of the observation window (sim end)
+  std::vector<TraceEvent> events;
+
+  int num_queues() const { return static_cast<int>(weights.size()); }
+
+  // FNV-1a digest of the header + every event, for record→replay
+  // byte-identity checks (same primitive as the trajectory hash).
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = sim::kFnv1aOffset;
+    h = sim::fnv1a_u64(h, static_cast<std::uint64_t>(buffer_bytes));
+    h = sim::fnv1a_u64(h, static_cast<std::uint64_t>(line_rate_bps));
+    h = sim::fnv1a_u64(h, static_cast<std::uint64_t>(weights.size()));
+    h = sim::fnv1a_u64(h, static_cast<std::uint64_t>(horizon));
+    for (const TraceEvent& e : events) {
+      h = sim::fnv1a_u64(h, static_cast<std::uint64_t>(e.when));
+      h = sim::fnv1a_u64(h, (static_cast<std::uint64_t>(e.kind) << 48) |
+                                (static_cast<std::uint64_t>(static_cast<std::uint16_t>(e.queue)) << 32) |
+                                static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.bytes)));
+    }
+    return h;
+  }
+};
+
+}  // namespace dynaq::oracle

@@ -1,0 +1,44 @@
+#include "oracle/trace_recorder.hpp"
+
+#include <utility>
+
+namespace dynaq::oracle {
+
+ArrivalTraceRecorder::ArrivalTraceRecorder(telemetry::Hub& hub, TraceRecorderConfig config)
+    : port_id_(hub.register_port(config.port)) {
+  trace_.port = std::move(config.port);
+  trace_.line_rate_bps = config.line_rate_bps;
+  trace_.buffer_bytes = config.buffer_bytes;
+  trace_.weights = std::move(config.weights);
+
+  // Bus half: admissions, drops and evictions at the observation point.
+  // kDrop carries the arrival the policy refused — together with kEnqueue
+  // it reconstructs the full offered arrival sequence.
+  hub.subscribe([this](const telemetry::Event& e) {
+    if (e.port != port_id_) return;
+    switch (e.kind) {
+      case telemetry::EventKind::kEnqueue:
+        trace_.events.push_back({e.when, TraceEventKind::kAdmit, e.queue, e.bytes});
+        break;
+      case telemetry::EventKind::kDrop:
+        trace_.events.push_back({e.when, TraceEventKind::kDrop, e.queue, e.bytes});
+        break;
+      case telemetry::EventKind::kEvict:
+        // e.queue is the victim whose buffered packet was displaced.
+        trace_.events.push_back({e.when, TraceEventKind::kEvict, e.queue, e.bytes});
+        break;
+      default:
+        break;
+    }
+  });
+
+  // Wire half: serialization starts are the moment bytes leave the shared
+  // buffer, i.e. the policy's realized drain sequence.
+  hub.add_wire_listener([this](const telemetry::WireRecord& w) {
+    if (w.port != port_id_ || !w.transmit) return;
+    trace_.events.push_back(
+        {w.when, TraceEventKind::kDrain, static_cast<std::int16_t>(w.queue), w.size});
+  });
+}
+
+}  // namespace dynaq::oracle

@@ -1,0 +1,50 @@
+// Records an ArrivalTrace from a live run by listening to telemetry::Hub
+// (DESIGN.md §12). The recorder subscribes to the typed event bus
+// (enqueue → admit, drop → drop, evict → evict) and to the wire taps
+// (serialization start → drain), filtered to one observation point, so it
+// needs no new callbacks on net::Port and no access to queue internals.
+//
+// Attaching a recorder leaves the run's trajectory_hash untouched: bus
+// subscription is passive and Hub::emit_wire() does not fold wire records
+// into the fingerprint (only emit() does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/trace.hpp"
+#include "telemetry/hub.hpp"
+
+namespace dynaq::oracle {
+
+struct TraceRecorderConfig {
+  std::string port;            // hub observation-point name, e.g. "sw.p0"
+  double line_rate_bps = 0.0;  // effective egress line rate at that port
+  std::int64_t buffer_bytes = 0;
+  std::vector<double> weights;  // scheduler weight per service queue
+};
+
+class ArrivalTraceRecorder {
+ public:
+  // Registers the observation point on `hub` (idempotent per name, so the
+  // port/qdisc pair that shares the name keeps its id) and installs the
+  // listeners. The recorder must outlive every emission on `hub`.
+  ArrivalTraceRecorder(telemetry::Hub& hub, TraceRecorderConfig config);
+
+  // Listeners capture `this`; moving the recorder would dangle them.
+  ArrivalTraceRecorder(const ArrivalTraceRecorder&) = delete;
+  ArrivalTraceRecorder& operator=(const ArrivalTraceRecorder&) = delete;
+
+  // Stamp the end of the observation window (normally sim.now() after the
+  // run) so the solver knows how much service time the optimum had.
+  void set_horizon(Time horizon) { trace_.horizon = horizon; }
+
+  const ArrivalTrace& trace() const { return trace_; }
+
+ private:
+  int port_id_;
+  ArrivalTrace trace_;
+};
+
+}  // namespace dynaq::oracle

@@ -143,6 +143,19 @@ std::vector<std::string> scenario_names() {
           "incast", "loss_burst",   "buffer_squeeze", "mixed"};
 }
 
+std::string_view scenario_description(std::string_view name) {
+  if (name == "none") return "empty timeline — scenario machinery armed but idle (baseline)";
+  if (name == "weight_churn")
+    return "rotate a 4x weight promotion across queues every eighth; flat split restored at 6/8";
+  if (name == "link_flap") return "two down/up outage cycles on the bottleneck link (eighths 2 and 5)";
+  if (name == "service_churn") return "one service queue leaves at 2/8 and rejoins at 5/8";
+  if (name == "incast") return "synchronized fan-in of short flows into queue 0 at mid-run";
+  if (name == "loss_burst") return "lossy-cable window: raised loss rate for a quarter of the run from 3/8";
+  if (name == "buffer_squeeze") return "halve the bottleneck buffer at 3/8, restore it at 6/8";
+  if (name == "mixed") return "kitchen sink: weight favor, link flap and incast in one run";
+  return "unknown scenario";
+}
+
 Scenario make_scenario(std::string_view name, const ScenarioParams& params) {
   if (params.duration <= 0) throw std::invalid_argument("scenario duration must be positive");
   if (params.num_queues <= 0) throw std::invalid_argument("scenario needs at least one queue");

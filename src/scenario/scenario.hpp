@@ -88,4 +88,10 @@ Scenario make_scenario(std::string_view name, const ScenarioParams& params);
 // The catalogue's names, in a fixed order (for --help text and error messages).
 std::vector<std::string> scenario_names();
 
+// One-line human description of a catalogue entry (what the timeline does
+// and when), for --list-scenarios output. Unknown names get a fixed
+// "unknown scenario" string rather than a throw — listing is diagnostics,
+// not validation.
+std::string_view scenario_description(std::string_view name);
+
 }  // namespace dynaq::scenario

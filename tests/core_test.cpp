@@ -433,9 +433,10 @@ TEST(MqEcn, ThresholdScalesWithActiveQueues) {
 TEST(Scheme, NamesRoundTrip) {
   using core::SchemeKind;
   for (SchemeKind k : {SchemeKind::kDynaQ, SchemeKind::kDynaQEvict, SchemeKind::kBestEffort,
-                       SchemeKind::kPql, SchemeKind::kDynamicThreshold, SchemeKind::kDynaQEcn,
-                       SchemeKind::kTcn, SchemeKind::kPmsb, SchemeKind::kPerQueueEcn,
-                       SchemeKind::kMqEcn}) {
+                       SchemeKind::kPql, SchemeKind::kDynamicThreshold,
+                       SchemeKind::kLongestQueueDrop, SchemeKind::kHarmonic,
+                       SchemeKind::kDynaQEcn, SchemeKind::kTcn, SchemeKind::kPmsb,
+                       SchemeKind::kPerQueueEcn, SchemeKind::kMqEcn}) {
     EXPECT_EQ(core::parse_scheme(core::scheme_name(k)), k);
   }
   EXPECT_THROW(core::parse_scheme("nope"), std::invalid_argument);

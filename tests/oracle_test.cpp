@@ -1,0 +1,265 @@
+// dynaq::oracle (DESIGN.md §12): the offline-optimal solver on hand-built
+// traces, trace recording through the telemetry hub on a live switch port,
+// the clairvoyant-bound guarantee (OPT >= policy on the identical arrival
+// sequence) across every registered scheme, the literature sanity checks
+// (DT loses >1x to the oracle on an adversarial burst; LQD stays within
+// its 1.5-competitive bound), and record/replay determinism — repeat runs
+// and any sweep worker count must produce byte-identical oracle reports.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "harness/dynamic_experiment.hpp"
+#include "net/packet.hpp"
+#include "net/port.hpp"
+#include "net/queue_disc.hpp"
+#include "oracle/offline_optimal.hpp"
+#include "oracle/report.hpp"
+#include "oracle/trace_recorder.hpp"
+#include "sim/simulator.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "telemetry/hub.hpp"
+#include "topo/scheduler_factory.hpp"
+#include "workload/flow_size_distribution.hpp"
+
+namespace dynaq {
+namespace {
+
+using oracle::TraceEventKind;
+
+// ---- solver on hand-built traces --------------------------------------
+
+oracle::ArrivalTrace base_trace() {
+  oracle::ArrivalTrace trace;
+  trace.port = "sw.p0";
+  trace.line_rate_bps = 8e9;  // 1 byte per nanosecond
+  trace.buffer_bytes = 3'000;
+  trace.weights = {1.0, 1.0};
+  trace.horizon = microseconds(std::int64_t{10});
+  return trace;
+}
+
+TEST(OfflineOptimal, ServesWholeOfferedLoadWithinHorizon) {
+  // 1000 B admitted + 500 B dropped at t=0; the policy drains only the
+  // admitted 1000 B. At 1 B/ns the oracle fits all 1500 B well inside the
+  // 10 us horizon, so OPT = offered and the ratio is exactly 1.5.
+  auto trace = base_trace();
+  trace.events = {{0, TraceEventKind::kAdmit, 0, 1'000},
+                  {0, TraceEventKind::kDrop, 0, 500},
+                  {microseconds(std::int64_t{1}), TraceEventKind::kDrain, 0, 1'000}};
+  const auto res = oracle::OfflineOptimal::solve(trace);
+  EXPECT_EQ(res.offered_bytes, 1'500);
+  EXPECT_EQ(res.policy_bytes, 1'000);
+  EXPECT_EQ(res.arrivals, 2u);
+  EXPECT_EQ(res.policy_drops, 1u);
+  EXPECT_EQ(res.opt_pushouts, 0u);
+  EXPECT_NEAR(res.optimal_bytes, 1'500.0, 1.0);
+
+  const auto report = oracle::evaluate(trace);
+  EXPECT_NEAR(report.ratio, 1.5, 1e-3);
+  ASSERT_EQ(report.queues.size(), 2u);
+  EXPECT_EQ(report.queues[0].offered_bytes, 1'500);
+}
+
+TEST(OfflineOptimal, PushesOutWhenOfferedLoadExceedsCapacity) {
+  // Three simultaneous 2000 B arrivals against B = 3000: capacity is B plus
+  // one 2000 B serializer slot = 5000, so even clairvoyance holds only
+  // 5000 B — the oracle pushes the remaining 1000 B out.
+  auto trace = base_trace();
+  trace.events = {{0, TraceEventKind::kAdmit, 0, 2'000},
+                  {0, TraceEventKind::kAdmit, 1, 2'000},
+                  {0, TraceEventKind::kAdmit, 0, 2'000}};
+  const auto res = oracle::OfflineOptimal::solve(trace);
+  EXPECT_EQ(res.offered_bytes, 6'000);
+  EXPECT_GE(res.opt_pushouts, 1u);
+  EXPECT_NEAR(res.opt_pushout_bytes, 1'000.0, 1.0);
+  EXPECT_NEAR(res.optimal_bytes, 5'000.0, 1.0);
+}
+
+TEST(OfflineOptimal, HorizonExtendsToCoverRecordedDrains) {
+  // A drain whose serialization ends after the nominal horizon must still
+  // fit in the oracle's service budget — otherwise OPT < policy would be
+  // reportable, breaking the bound.
+  auto trace = base_trace();
+  trace.horizon = 0;
+  trace.events = {{0, TraceEventKind::kAdmit, 0, 2'000},
+                  {0, TraceEventKind::kDrain, 0, 1'000},
+                  {microseconds(std::int64_t{1}), TraceEventKind::kDrain, 0, 1'000}};
+  const auto res = oracle::OfflineOptimal::solve(trace);
+  EXPECT_EQ(res.policy_bytes, 2'000);
+  EXPECT_GE(res.optimal_bytes + 1e-6, 2'000.0);
+}
+
+TEST(OfflineOptimal, FingerprintIsStableAndContentSensitive) {
+  auto a = base_trace();
+  a.events = {{0, TraceEventKind::kAdmit, 0, 1'000}};
+  auto b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.events[0].bytes = 1'001;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+// ---- recording from a live port ---------------------------------------
+
+// A single audited switch egress port driven by hand: packets pushed
+// straight into the qdisc-backed net::Port, drains recorded off the wire
+// taps, horizon closed at sim.now(). This is the oracle's whole input
+// surface — no queue internals touched (conventions rule 12).
+struct PortRig {
+  sim::Simulator sim;
+  telemetry::Hub hub{sim, {.enabled = true}};
+  std::unique_ptr<net::Port> port;
+  std::unique_ptr<net::Port> sink;
+  std::optional<oracle::ArrivalTraceRecorder> recorder;
+
+  PortRig(core::SchemeKind kind, std::vector<double> weights, std::int64_t buffer_bytes,
+          double rate_bps) {
+    core::SchemeSpec spec;
+    spec.kind = kind;
+    spec.audit = true;  // contract violations throw and fail the test
+    auto qdisc = core::make_mq_qdisc(sim, weights, buffer_bytes, spec,
+                                     topo::make_scheduler(topo::SchedulerKind::kDrr));
+    port = std::make_unique<net::Port>(sim, rate_bps, 0, std::move(qdisc));
+    sink = std::make_unique<net::Port>(sim, rate_bps, 0, std::make_unique<net::DropTailQueue>());
+    net::connect(*port, *sink);
+    port->attach_telemetry(hub, "sw.p0");
+    recorder.emplace(hub, oracle::TraceRecorderConfig{"sw.p0", rate_bps, buffer_bytes,
+                                                      std::move(weights)});
+  }
+
+  void burst(int queue, int count, std::int32_t payload) {
+    for (int i = 0; i < count; ++i) {
+      auto p = net::make_data_packet(static_cast<std::uint32_t>(queue), 0, 1,
+                                     static_cast<std::uint64_t>(i) * 1'460, payload);
+      p.queue = static_cast<std::uint8_t>(queue);
+      port->send(std::move(p));
+    }
+  }
+
+  oracle::Report finish(Time run_until) {
+    sim.schedule_at(run_until, [] {});
+    sim.run();
+    recorder->set_horizon(sim.now());
+    return oracle::evaluate(recorder->trace());
+  }
+};
+
+TEST(OracleRecording, DtAdversarialBurstLosesToOracle) {
+  // DT with alpha=1 caps a lone bursty queue at B/2: the other queue is
+  // idle, yet half the buffer stays off limits. The clairvoyant allocator
+  // keeps the whole buffer, so with slack time after the burst it delivers
+  // close to 2x the policy's bytes.
+  PortRig rig(core::SchemeKind::kDynamicThreshold, {1.0, 1.0}, 30'000, 1e8);
+  rig.burst(/*queue=*/0, /*count=*/40, /*payload=*/1'460);
+  const auto report = rig.finish(milliseconds(std::int64_t{5}));
+  EXPECT_GT(report.policy_drops, 0u);
+  EXPECT_GE(report.ratio, 1.2) << "DT should strand buffer on a one-queue burst";
+  EXPECT_LE(report.ratio, 2.1);
+  EXPECT_GE(report.optimal_bytes + 1e-6,
+            static_cast<double>(report.policy_bytes));
+}
+
+TEST(OracleRecording, LqdStaysWithinItsCompetitiveBound) {
+  // Matsakis-style pressure: a steady stream on queue 0 while queue 1
+  // bursts past the buffer repeatedly. LQD is 1.5-competitive, so the
+  // measured ratio must stay under 1.5 (+ slack for the fluid relaxation
+  // of the oracle) — and >= 1 by the work-conservation bound.
+  PortRig rig(core::SchemeKind::kLongestQueueDrop, {1.0, 1.0}, 20'000, 1e9);
+  rig.burst(/*queue=*/0, /*count=*/12, /*payload=*/1'460);
+  for (int wave = 1; wave <= 4; ++wave) {
+    rig.sim.schedule_at(microseconds(std::int64_t{100} * wave), [&rig] {
+      rig.burst(/*queue=*/1, /*count=*/20, /*payload=*/1'460);
+      rig.burst(/*queue=*/0, /*count=*/6, /*payload=*/1'460);
+    });
+  }
+  const auto report = rig.finish(milliseconds(std::int64_t{3}));
+  EXPECT_GT(report.policy_drops, 0u);
+  EXPECT_GE(report.ratio, 1.0 - 1e-9);
+  EXPECT_LE(report.ratio, 1.55);
+}
+
+// ---- end-to-end through the harness -----------------------------------
+
+harness::DynamicStarConfig small_star(core::SchemeKind kind, std::uint64_t seed) {
+  harness::DynamicStarConfig cfg;
+  cfg.star.num_hosts = 5;
+  cfg.star.queue_weights = {1, 1, 1, 1, 1};
+  cfg.star.scheme.kind = kind;
+  cfg.star.scheduler = topo::SchedulerKind::kSpqOverDrr;
+  cfg.client_host = 0;
+  cfg.num_servers = 4;
+  cfg.num_flows = 80;
+  cfg.load = 0.8;
+  cfg.dist = &workload::web_search_workload();
+  cfg.pias = true;
+  cfg.pias_threshold_bytes = 100'000;
+  cfg.first_service_queue = 1;
+  cfg.seed = seed;
+  cfg.oracle_competitive = true;
+  return cfg;
+}
+
+TEST(OracleHarness, OptimalDominatesEveryPolicyOnItsOwnTrace) {
+  for (const auto kind :
+       {core::SchemeKind::kDynaQ, core::SchemeKind::kDynamicThreshold,
+        core::SchemeKind::kLongestQueueDrop, core::SchemeKind::kHarmonic,
+        core::SchemeKind::kBestEffort}) {
+    const auto r = harness::run_dynamic_star_experiment(small_star(kind, 3));
+    ASSERT_TRUE(r.oracle.has_value()) << core::scheme_name(kind);
+    EXPECT_GT(r.oracle->trace_events, 0u) << core::scheme_name(kind);
+    EXPECT_GE(r.oracle->optimal_bytes + 1e-6,
+              static_cast<double>(r.oracle->policy_bytes))
+        << core::scheme_name(kind);
+    EXPECT_GE(r.oracle->ratio, 1.0 - 1e-9) << core::scheme_name(kind);
+  }
+}
+
+TEST(OracleHarness, RecordReplayIsBitIdenticalAcrossRepeatRuns) {
+  const auto cfg = small_star(core::SchemeKind::kDynaQ, 7);
+  const auto a = harness::run_dynamic_star_experiment(cfg);
+  const auto b = harness::run_dynamic_star_experiment(cfg);
+  ASSERT_TRUE(a.oracle.has_value());
+  ASSERT_TRUE(b.oracle.has_value());
+  EXPECT_EQ(a.oracle->trace_fingerprint, b.oracle->trace_fingerprint);
+  EXPECT_EQ(a.oracle->trace_events, b.oracle->trace_events);
+  EXPECT_EQ(a.oracle->policy_bytes, b.oracle->policy_bytes);
+  EXPECT_EQ(a.oracle->optimal_bytes, b.oracle->optimal_bytes);  // bit-exact
+  EXPECT_EQ(a.oracle->ratio, b.oracle->ratio);
+  // Recording must not perturb the run itself (wire taps stay outside the
+  // hub fingerprint).
+  EXPECT_EQ(a.trajectory_hash, b.trajectory_hash);
+
+  const auto c = harness::run_dynamic_star_experiment(
+      small_star(core::SchemeKind::kDynaQ, 8));
+  ASSERT_TRUE(c.oracle.has_value());
+  EXPECT_NE(a.oracle->trace_fingerprint, c.oracle->trace_fingerprint)
+      << "different seeds must record different traces";
+}
+
+TEST(OracleHarness, SweepJsonIsByteIdenticalForAnyWorkerCount) {
+  sweep::SweepSpec spec;
+  spec.axes = {sweep::Axis::labels("scheme", {"DynaQ", "LQD"}),
+               sweep::Axis::numeric("seed", {1, 2})};
+  const auto job = [](const sweep::JobPoint& point) {
+    auto cfg = small_star(core::parse_scheme(point.label("scheme")),
+                          static_cast<std::uint64_t>(point.number("seed")));
+    cfg.num_flows = 40;
+    auto r = harness::run_dynamic_star_experiment(cfg);
+    sweep::JobResult out{{{"ratio", r.oracle->ratio}}};
+    out.trajectory_hash = r.trajectory_hash;
+    out.oracle = std::move(r.oracle);
+    return out;
+  };
+  const auto serial = sweep::SweepRunner({.jobs = 1}).run("oracle_sweep", spec, job);
+  const auto parallel = sweep::SweepRunner({.jobs = 4}).run("oracle_sweep", spec, job);
+  const sweep::JsonOptions no_perf{.include_perf = false};
+  EXPECT_EQ(serial.to_json(no_perf), parallel.to_json(no_perf));
+  EXPECT_NE(serial.to_json(no_perf).find("\"oracle\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynaq

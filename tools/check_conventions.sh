@@ -33,6 +33,11 @@
 #      set_loss_rate, pause/resume — DESIGN.md §11): src/scenario must never
 #      reach into buffer state (MqState, ServiceQueue, packet deques), so
 #      every mutation stays inside the audited component APIs.
+#  12. The oracle consumes telemetry taps only (DESIGN.md §12): src/oracle
+#      reconstructs arrivals from the hub's event bus and wire records, so
+#      it must not include net/core/transport/topo headers nor name queue
+#      internals (MqState, ServiceQueue, MultiQueueQdisc) — the offline
+#      bound stays decoupled from the online implementation it judges.
 #   8. Instrumentation goes through telemetry::Hub (DESIGN.md §8): no
 #      ad-hoc per-port callback mutation. The last-writer-wins Port
 #      callbacks (on_transmit_start/on_deliver) were replaced by the hub's
@@ -144,6 +149,22 @@ hits=$(grep -rnE '\bMqState\b|\bServiceQueue\b|\.packets\b|->packets\b' src/scen
 if [[ -n "$hits" ]]; then
   complain "scenario-via-handles" \
     "src/scenario mutates components only through registered handle methods, never raw buffer/queue state:" \
+    "$hits"
+fi
+
+# -- 12. oracle consumes telemetry taps only (DESIGN.md §12) ------------------
+hits=$(grep -rnE '#include "(net|core|transport|topo)/' src/oracle/ \
+  | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "oracle-via-telemetry" \
+    "src/oracle must reconstruct state from telemetry taps, not include online model headers:" \
+    "$hits"
+fi
+hits=$(grep -rnE '\bMqState\b|\bServiceQueue\b|\bMultiQueueQdisc\b' src/oracle/ \
+  | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "oracle-via-telemetry" \
+    "src/oracle must not touch queue internals (the offline bound judges the online policy from outside):" \
     "$hits"
 fi
 

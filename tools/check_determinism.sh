@@ -12,6 +12,11 @@
 #                rebalances, DESIGN.md §11) satisfies the same properties —
 #                scenario actions are part of the trajectory, not a source
 #                of nondeterminism.
+#   5. oracle:   an oracle-enabled run (bench/abl_competitive, DESIGN.md
+#                §12) satisfies the same properties on trajectory_hash AND
+#                on the emitted oracle blocks (trace fingerprints, solver
+#                outputs): recording + offline replay is a pure function of
+#                the seed, for any worker count.
 #
 # Usage: check_determinism.sh <build-dir>
 set -eu
@@ -86,7 +91,46 @@ if [[ -n "$(comm -12 <(printf '%s\n' "$sa") <(printf '%s\n' "$ss"))" ]]; then
   fail=1
 fi
 
+# -- oracle-enabled runs (DESIGN.md §12) -------------------------------------
+obin="$build/bench/abl_competitive"
+[[ -x "$obin" ]] || { echo "check_determinism: $obin not built" >&2; exit 1; }
+
+run_oracle() {  # run_oracle <outdir> <grep pattern> <extra flags...>
+  local out="$work/$1" pattern="$2"
+  shift 2
+  mkdir -p "$out"
+  "$obin" --flows=120 --schemes=DynaQ,LQD --strict \
+    --json "$out" "$@" > /dev/null
+  grep -o "$pattern" "$out/abl_competitive.json" | sort
+}
+
+hash_pat='"trajectory_hash":"0x[0-9a-f]*"'
+# The solver's outputs ride the differential too: a nondeterministic replay
+# would change optimal_bytes/fingerprint even with identical trajectories.
+oracle_pat='"trace_fingerprint":"0x[0-9a-f]*"\|"optimal_bytes":[0-9.e+-]*'
+
+oa=$(run_oracle orc_repeat_a "$hash_pat" --seeds=1,2 --jobs=1)
+ob=$(run_oracle orc_repeat_b "$hash_pat" --seeds=1,2 --jobs=1)
+expect_equal "oracle: same seed, repeated run" "$oa" "$ob"
+ova=$(grep -o "$oracle_pat" "$work/orc_repeat_a/abl_competitive.json" | sort)
+ovb=$(grep -o "$oracle_pat" "$work/orc_repeat_b/abl_competitive.json" | sort)
+expect_equal "oracle: repeated run solver outputs" "$ova" "$ovb"
+oj=$(run_oracle orc_jobs_4 "$hash_pat" --seeds=1,2 --jobs=4)
+expect_equal "oracle: --jobs 1 vs --jobs 4" "$oa" "$oj"
+ovj=$(grep -o "$oracle_pat" "$work/orc_jobs_4/abl_competitive.json" | sort)
+expect_equal "oracle: --jobs 1 vs 4 solver outputs" "$ova" "$ovj"
+os=$(run_oracle orc_seed_b "$hash_pat" --seeds=3,4 --jobs=2)
+if [[ -n "$(comm -12 <(printf '%s\n' "$oa") <(printf '%s\n' "$os"))" ]]; then
+  echo "check_determinism: FAILED (oracle: different seeds produced a shared hash):"
+  comm -12 <(printf '%s\n' "$oa") <(printf '%s\n' "$os") | sed 's/^/  /'
+  fail=1
+fi
+if [[ "$ova" != *trace_fingerprint* ]]; then
+  echo "check_determinism: FAILED (no oracle blocks in abl_competitive JSON)"
+  fail=1
+fi
+
 if [[ $fail -eq 0 ]]; then
-  echo "check_determinism: OK (repeat, --jobs 1 vs 4, seed sensitivity, scenario runs)"
+  echo "check_determinism: OK (repeat, --jobs 1 vs 4, seed sensitivity, scenario runs, oracle runs)"
 fi
 exit $fail

@@ -82,4 +82,9 @@ run "$BUILD_DIR/bench/micro_dynaq_ops"
 run "$BUILD_DIR/bench/micro_simulator"
 run "$BUILD_DIR/bench/micro_telemetry"
 
-echo "all reports in $OUT_DIR/"
+# Fidelity report (DESIGN.md §13): evaluate the expectation catalogue over
+# every sweep JSON produced above and render <output-dir>/REPORT.md. Not
+# gated here — run_all.sh regenerates artifacts; ci.sh enforces the gate.
+run "$BUILD_DIR/tools/report_gen" --results "$OUT_DIR"
+
+echo "all reports in $OUT_DIR/ (fidelity summary: $OUT_DIR/REPORT.md)"

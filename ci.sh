@@ -50,6 +50,15 @@ echo "==> [1/4] trajectory-hash differential gate (DESIGN.md §10)"
 # Same seed twice and --jobs 1 vs 4 must hash identically; different seeds
 # must diverge. Catches nondeterminism the unit tests' small runs may miss.
 tools/check_determinism.sh build-ci
+echo "==> [1/4] fidelity report gate (report_gen, DESIGN.md §13)"
+# Evaluate the expectation catalogue over the smoke sweep, append this
+# rev's row to the BENCH_history.jsonl perf ledger, and re-apply the bench
+# budgets to it; any failed expectation or bench regression fails CI.
+build-ci/tools/report_gen --gate \
+    --sweep BENCH_sweep.json --bench-core BENCH_core.json \
+    --history BENCH_history.jsonl \
+    --rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --out results/REPORT.md
 
 if [[ $skip_asan -eq 0 ]]; then
   echo "==> [2/4] ASan+UBSan ctest"

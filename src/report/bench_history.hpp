@@ -1,0 +1,60 @@
+// Bench-trajectory tracking (DESIGN.md §13): BENCH_history.jsonl is an
+// append-only JSONL ledger of the committed perf snapshots
+// (BENCH_core.json event-engine numbers + BENCH_sweep.json smoke-sweep
+// wall time), one row per git revision. ci.sh appends the current run's
+// row; the regression comparator re-applies the soft ns/event budgets and
+// the hard zero-heap-fallback gate to the newest row so a perf regression
+// fails the report gate even if the bench binary's own assert was skipped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/artifacts.hpp"
+
+namespace dynaq::report {
+
+struct HistoryRow {
+  // "dynaq-bench-history-v1"
+  std::string schema = kHistorySchema;
+  std::string rev;        // git revision the metrics were measured at
+  std::int64_t seq = 0;   // 1-based position in the ledger
+  std::vector<BenchWorkload> core;  // from BENCH_core.json
+  struct SweepPerf {
+    std::string sweep;
+    std::int64_t jobs = 0;
+    std::int64_t failures = 0;
+    double total_wall_ms = 0.0;
+  };
+  std::optional<SweepPerf> sweep;  // from BENCH_sweep.json
+
+  static constexpr const char* kHistorySchema = "dynaq-bench-history-v1";
+};
+
+// Build the row for this run from the loaded snapshots (either may be
+// absent; an empty row is still a valid rev marker).
+HistoryRow make_history_row(const std::string& rev, const BenchCoreDoc* core,
+                            const SweepDoc* sweep);
+
+// Parse BENCH_history.jsonl text. Unknown-schema lines are preserved as
+// empty rows carrying only rev/seq so the ledger never shrinks.
+std::vector<HistoryRow> parse_history(std::string_view jsonl);
+
+// One JSONL line (no trailing newline), deterministic key order.
+std::string render_history_row(const HistoryRow& row);
+
+// Ledger update policy: one row per rev. A repeat run at the rev of the
+// *last* row refreshes that row in place; any other rev appends. Rows for
+// older revs are never modified — across revisions the ledger is
+// append-only. Returns the full new ledger text.
+std::string append_history(const std::string& existing_jsonl, HistoryRow row);
+
+// Regression comparator over the newest row: hard-fails on any
+// heap_fallbacks != 0 (allocation crept into the event hot path) or sweep
+// failures != 0, soft-fails on ns_per_event above the workload's recorded
+// budget. Returns human-readable findings; empty = clean.
+std::vector<std::string> history_regressions(const std::vector<HistoryRow>& rows);
+
+}  // namespace dynaq::report

@@ -1,0 +1,107 @@
+// Minimal recursive-descent JSON reader for the report subsystem
+// (DESIGN.md §13). src/report consumes only serialized artifacts — sweep
+// results JSON (schema_version 5), BENCH_core.json, BENCH_history.jsonl —
+// and must stay decoupled from the simulator (conventions rule 13), so it
+// carries its own parser instead of linking any model library. Objects
+// preserve key order (vector of pairs, linear lookup): artifact objects are
+// small and deterministic ordering keeps rendered reports byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dynaq::report {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : std::runtime_error(what + " at line " + std::to_string(line) + ", column " +
+                           std::to_string(column)),
+        line_(line),
+        column_(column) {}
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Json(double d) : type_(Type::kNumber), number_(d) {}
+  explicit Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  explicit Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+
+  // Object lookup by key; nullptr when absent or when this is not an object.
+  const Json* find(std::string_view key) const {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  // Typed convenience accessors with fallbacks, for optional artifact fields.
+  double number_or(std::string_view key, double fallback) const {
+    const Json* v = find(key);
+    return v != nullptr && v->is_number() ? v->number_ : fallback;
+  }
+  std::int64_t integer_or(std::string_view key, std::int64_t fallback) const {
+    const Json* v = find(key);
+    return v != nullptr && v->is_number() ? static_cast<std::int64_t>(v->number_) : fallback;
+  }
+  std::string string_or(std::string_view key, std::string fallback) const {
+    const Json* v = find(key);
+    return v != nullptr && v->is_string() ? v->string_ : std::move(fallback);
+  }
+  bool bool_or(std::string_view key, bool fallback) const {
+    const Json* v = find(key);
+    return v != nullptr && v->is_bool() ? v->bool_ : fallback;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Parse one JSON document; throws report::ParseError (with 1-based
+// line/column) on malformed input or trailing garbage.
+Json parse_json(std::string_view text);
+
+// Parse JSON Lines (one document per non-empty line) — the
+// BENCH_history.jsonl format. Blank lines are skipped; a malformed line
+// throws ParseError with that line number.
+std::vector<Json> parse_jsonl(std::string_view text);
+
+}  // namespace dynaq::report

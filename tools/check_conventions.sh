@@ -38,6 +38,12 @@
 #      it must not include net/core/transport/topo headers nor name queue
 #      internals (MqState, ServiceQueue, MultiQueueQdisc) — the offline
 #      bound stays decoupled from the online implementation it judges.
+#  13. The report subsystem reads serialized artifacts only (DESIGN.md
+#      §13): src/report evaluates sweep results JSON, BENCH_core.json and
+#      BENCH_history.jsonl, so it must not include any model/runtime header
+#      (sim, net, core, transport, topo, harness, telemetry, sweep,
+#      scenario, oracle, check, stats, workload) — expectations judge runs
+#      from their artifacts, never from simulator internals.
 #   8. Instrumentation goes through telemetry::Hub (DESIGN.md §8): no
 #      ad-hoc per-port callback mutation. The last-writer-wins Port
 #      callbacks (on_transmit_start/on_deliver) were replaced by the hub's
@@ -165,6 +171,15 @@ hits=$(grep -rnE '\bMqState\b|\bServiceQueue\b|\bMultiQueueQdisc\b' src/oracle/ 
 if [[ -n "$hits" ]]; then
   complain "oracle-via-telemetry" \
     "src/oracle must not touch queue internals (the offline bound judges the online policy from outside):" \
+    "$hits"
+fi
+
+# -- 13. report reads serialized artifacts only (DESIGN.md §13) ---------------
+hits=$(grep -rnE '#include "(sim|net|core|transport|topo|harness|telemetry|sweep|scenario|oracle|check|stats|workload)/' \
+  src/report/ tools/report_gen.cpp | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "report-via-artifacts" \
+    "src/report judges runs from serialized artifacts (sweep JSON, BENCH_*.json); it must not include model/runtime headers:" \
     "$hits"
 fi
 

@@ -78,6 +78,13 @@ for rob in rob_weight_churn rob_link_flap; do
   run "$BUILD_DIR/bench/$rob" $FULL_FLAG "$JOBS_FLAG" --json "$OUT_DIR/json"
 done
 
+# Degraded control plane (DESIGN.md §14): DynaQ behind the asynchronous
+# shim through a controller crash, vs the DT failover target; emits the
+# recovery-time / throughput-retention telemetry judged by the §14
+# expectations.
+run "$BUILD_DIR/bench/rob_controller" $FULL_FLAG "$JOBS_FLAG" \
+    --csv "$OUT_DIR/csv" --json "$OUT_DIR/json"
+
 run "$BUILD_DIR/bench/micro_dynaq_ops"
 run "$BUILD_DIR/bench/micro_simulator"
 run "$BUILD_DIR/bench/micro_telemetry"

@@ -75,6 +75,12 @@ if [[ $skip_asan -eq 0 ]]; then
       --schemes=DynaQ --seeds=1 --strict > /dev/null
   ASAN_OPTIONS=detect_leaks=1 build-asan/bench/rob_weight_churn --duration-s=1 \
       --scenario=mixed --schemes=DynaQ --seeds=1 --strict > /dev/null
+  echo "==> [2/4] ASan+UBSan control-plane smoke (rob_controller, DESIGN.md §14)"
+  # Async threshold commits, watchdog failover to DT and the reliable
+  # re-sync under the sanitizers: the shim's timer closures and the
+  # RecoveryInstrument subscription must be clean of UB and leaks.
+  ASAN_OPTIONS=detect_leaks=1 build-asan/bench/rob_controller --duration-s=1 \
+      --scenario=controller_crash --schemes=DynaQ --seeds=1 --strict > /dev/null
   echo "==> [2/4] ASan+UBSan oracle smoke (abl_competitive, DESIGN.md §12)"
   # Trace recording off the hub taps + the offline-optimal replay under the
   # sanitizers, covering the new LQD/Harmonic policies under audit.

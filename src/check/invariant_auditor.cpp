@@ -15,6 +15,7 @@ std::string_view violation_kind_name(ViolationKind kind) {
     case ViolationKind::kBadEvictionVictim: return "bad-eviction-victim";
     case ViolationKind::kConservationMismatch: return "conservation-mismatch";
     case ViolationKind::kQueueAccountingDrift: return "queue-accounting-drift";
+    case ViolationKind::kStaleThresholdWindow: return "stale-threshold-window";
   }
   return "?";
 }
@@ -74,11 +75,35 @@ void AuditedBufferPolicy::check_thresholds(const net::MqState& state, const char
       report(ViolationKind::kNegativeThreshold, state, where, static_cast<int>(i), os.str());
     }
   }
-  if (inner_->conserves_threshold_sum() && sum != state.buffer_bytes) {
-    std::ostringstream os;
-    os << "sum(T) = " << sum << " != B = " << state.buffer_bytes;
-    report(ViolationKind::kThresholdSumMismatch, state, where, -1, os.str());
+  if (!inner_->conserves_threshold_sum()) return;
+  if (sum == state.buffer_bytes) {
+    stale_since_ = -1;  // the sum re-balanced; close any staleness window
+    return;
   }
+  // Bounded staleness (DESIGN.md §14): an asynchronously-updated policy may
+  // run on stale thresholds after a resize/weight change until the next
+  // control update commits, so ΣT = B is checked at commit points rather
+  // than mid-flight. The drift still has a hard deadline: the first
+  // mismatched observation opens a window, and a mismatch persisting past
+  // the policy's declared bound is a violation. Without a simulator there
+  // is no clock to bound the window, so the strict check applies.
+  const Time bound = inner_->threshold_staleness_bound();
+  if (bound > 0 && sim_ != nullptr) {
+    const Time now = sim_->now();
+    if (stale_since_ < 0) stale_since_ = now;
+    if (now - stale_since_ > bound) {
+      std::ostringstream os;
+      os << "sum(T) = " << sum << " != B = " << state.buffer_bytes << " for "
+         << to_microseconds(now - stale_since_) << "us > staleness bound "
+         << to_microseconds(bound) << "us";
+      report(ViolationKind::kStaleThresholdWindow, state, where, -1, os.str());
+      stale_since_ = now;  // one violation per expired window in record mode
+    }
+    return;
+  }
+  std::ostringstream os;
+  os << "sum(T) = " << sum << " != B = " << state.buffer_bytes;
+  report(ViolationKind::kThresholdSumMismatch, state, where, -1, os.str());
 }
 
 void AuditedBufferPolicy::check_conservation(const net::MqState& state, const char* where) {
@@ -128,6 +153,7 @@ void AuditedBufferPolicy::attach(const net::MqState& state) {
   ledger_ = AuditLedger{};
   ops_since_deep_check_ = 0;
   pre_admit_valid_ = false;
+  stale_since_ = -1;
   check_thresholds(state, "attach");
 }
 

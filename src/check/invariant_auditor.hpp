@@ -46,6 +46,7 @@ enum class ViolationKind {
   kBadEvictionVictim,     // victim out of range, == arriving queue, or empty
   kConservationMismatch,  // ledger vs MqState byte/packet accounting drift
   kQueueAccountingDrift,  // queue byte counter != sum of resident packet sizes
+  kStaleThresholdWindow,  // ΣT != B persisted beyond threshold_staleness_bound()
 };
 
 std::string_view violation_kind_name(ViolationKind kind);
@@ -126,6 +127,10 @@ class AuditedBufferPolicy final : public net::BufferPolicy {
   std::vector<std::int64_t> thresholds() const override { return inner_->thresholds(); }
   bool conserves_threshold_sum() const override { return inner_->conserves_threshold_sum(); }
   bool enforces_thresholds() const override { return inner_->enforces_thresholds(); }
+  Time threshold_staleness_bound() const override { return inner_->threshold_staleness_bound(); }
+  void attach_telemetry(telemetry::Hub& hub, int tel_port) override {
+    inner_->attach_telemetry(hub, tel_port);
+  }
   telemetry::DropReason last_drop_reason() const override { return inner_->last_drop_reason(); }
   int last_exchange_victim() const override { return inner_->last_exchange_victim(); }
   std::string_view name() const override { return inner_->name(); }
@@ -137,6 +142,11 @@ class AuditedBufferPolicy final : public net::BufferPolicy {
   const AuditLedger& ledger() const { return ledger_; }
   std::uint64_t checks_run() const { return checks_run_; }
   void clear_violations() { violations_.clear(); }
+
+  // Bounded-staleness introspection (DESIGN.md §14): the sim time of the
+  // first still-unresolved ΣT ≠ B observation, or -1 when the sum currently
+  // balances. Only meaningful for policies with a nonzero staleness bound.
+  Time stale_since() const { return stale_since_; }
 
  private:
   void report(ViolationKind kind, const net::MqState& state, const char* where, int queue,
@@ -159,6 +169,9 @@ class AuditedBufferPolicy final : public net::BufferPolicy {
   std::vector<std::int64_t> pre_admit_thresholds_;
   bool pre_admit_valid_ = false;
   std::vector<std::int64_t> scratch_;
+  // First audited observation of ΣT ≠ B that has not rebalanced yet; -1
+  // while the sum holds. Drives the bounded-staleness window (§14).
+  Time stale_since_ = -1;
 };
 
 }  // namespace dynaq::check

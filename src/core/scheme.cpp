@@ -91,7 +91,8 @@ std::unique_ptr<net::EcnMarker> make_marker(const SchemeSpec& spec) {
 std::unique_ptr<net::MultiQueueQdisc> make_mq_qdisc(
     sim::Simulator& sim, std::vector<double> weights, std::int64_t buffer_bytes,
     const SchemeSpec& spec, std::unique_ptr<net::SchedulerPolicy> scheduler) {
-  std::unique_ptr<net::BufferPolicy> policy = make_policy(spec);
+  std::unique_ptr<net::BufferPolicy> policy =
+      spec.custom_policy_sim ? spec.custom_policy_sim(sim) : make_policy(spec);
   if (spec.audit) {
     policy = std::make_unique<check::AuditedBufferPolicy>(std::move(policy), &sim,
                                                           spec.audit_options);

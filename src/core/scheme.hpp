@@ -48,6 +48,11 @@ struct SchemeSpec {
   // policy instead of `kind` (one instance per switch port). `kind` still
   // selects the ECN marker, if any.
   std::function<std::unique_ptr<net::BufferPolicy>()> custom_policy;
+  // Simulator-aware variant for policies that schedule their own events —
+  // the dynaq::ctrlplane control-plane shim needs the port's simulator to
+  // run its update/watchdog timers. Only honored by make_mq_qdisc (which
+  // owns a simulator); takes precedence over custom_policy.
+  std::function<std::unique_ptr<net::BufferPolicy>(sim::Simulator&)> custom_policy_sim;
   // Wrap the policy in check::AuditedBufferPolicy so every admission/
   // eviction/rollback is verified against the buffer-policy contract
   // (DESIGN.md §6). harness::run_*_experiment turns this on by default;

@@ -5,6 +5,7 @@
 
 #include "check/invariant_auditor.hpp"
 #include "check/trajectory_hash.hpp"
+#include "ctrlplane/recovery_instrument.hpp"
 #include "oracle/trace_recorder.hpp"
 #include "scenario/director.hpp"
 #include "sim/random.hpp"
@@ -19,6 +20,19 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
   sim::Rng rng(config.seed);
   topo::StarConfig star_config = config.star;
   star_config.scheme.audit = star_config.scheme.audit || config.audit_invariants;
+  // Control-plane shim (DESIGN.md §14): wrap DynaQ behind the asynchronous
+  // threshold-update/watchdog model on every switch port. The audit
+  // decorator still applies on top, so the shim's bounded-staleness
+  // contract is verified like any other policy's.
+  if (config.control_plane.enabled &&
+      star_config.scheme.kind == core::SchemeKind::kDynaQ) {
+    const ctrlplane::ControlPlaneConfig cp = config.control_plane;
+    const core::DynaQPolicy::Options dynaq_opts = star_config.scheme.dynaq;
+    star_config.scheme.custom_policy_sim =
+        [cp, dynaq_opts](sim::Simulator& s) -> std::unique_ptr<net::BufferPolicy> {
+      return std::make_unique<ctrlplane::ControlPlanePolicy>(s, cp, dynaq_opts);
+    };
+  }
   topo::StarTopology topo(sim, star_config);
 
   const int num_queues = static_cast<int>(config.star.queue_weights.size());
@@ -44,6 +58,12 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
     for (int i = 0; i < topo.num_hosts(); ++i) {
       topo.host(i).nic().attach_telemetry(hub, "h" + std::to_string(i) + ".nic");
     }
+  }
+  // Recovery metrics (DESIGN.md §14): failover/restore windows and
+  // throughput retention observed off the bottleneck port's event stream.
+  std::optional<ctrlplane::RecoveryInstrument> recovery;
+  if (config.control_plane.enabled && hub.enabled()) {
+    recovery.emplace(hub, hub.register_port(bottleneck_name));
   }
   // Oracle trace (DESIGN.md §12): drains come off the egress Port's wire
   // taps, so the port joins the hub under the same observation-point name
@@ -152,6 +172,12 @@ StaticExperimentResult run_static_experiment(const StaticExperimentConfig& confi
     result.telemetry = hub.summary();
     result.telemetry_events = hub.ring_events();
     result.telemetry_ports = hub.port_names();
+    if (recovery) {
+      const ctrlplane::RecoveryInstrument::Metrics m = recovery->finalize(config.duration);
+      result.telemetry.control.degraded_us = m.degraded_us;
+      result.telemetry.control.recovery_us = m.recovery_us;
+      result.telemetry.control.throughput_retention = m.throughput_retention;
+    }
   }
   if (config.fingerprint_trajectory) {
     check::TrajectoryHash th;

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "ctrlplane/control_plane.hpp"
 #include "net/multi_queue_qdisc.hpp"
 #include "oracle/report.hpp"
 #include "scenario/scenario.hpp"
@@ -75,6 +76,14 @@ struct StaticExperimentConfig {
   // weights mid-run make the bound approximate (the solver replays the
   // configured values).
   bool oracle_competitive = false;
+  // Control-plane model (DESIGN.md §14): when enabled and the scheme is
+  // kDynaQ, every switch port runs its DynaQ policy behind a
+  // ctrlplane::ControlPlanePolicy shim (async threshold updates, watchdog
+  // failover to DT, scenario-drivable faults), and a RecoveryInstrument on
+  // the bottleneck port derives degraded-time / recovery-time / throughput-
+  // retention metrics into the result's TelemetrySummary. Other schemes
+  // ignore this (they have no controller to degrade).
+  ctrlplane::ControlPlaneConfig control_plane;
   // Optional mid-run timeline (DESIGN.md §11): a ScenarioDirector is built
   // over the topology's registered handles, every sender is registered
   // under its group's queue, and incast bursts spawn short flows toward

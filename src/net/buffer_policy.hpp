@@ -11,6 +11,10 @@
 #include "net/packet.hpp"
 #include "telemetry/events.hpp"
 
+namespace dynaq::telemetry {
+class Hub;
+}
+
 namespace dynaq::net {
 
 class BufferPolicy {
@@ -83,6 +87,15 @@ class BufferPolicy {
   virtual bool conserves_threshold_sum() const { return false; }
   virtual bool enforces_thresholds() const { return false; }
 
+  // Bounded staleness (DESIGN.md §14): a conserving policy whose thresholds
+  // are updated asynchronously (the dynaq::ctrlplane shim) may let ΣT drift
+  // from B transiently after a buffer resize or weight change, as long as a
+  // re-balancing update commits within this window. 0 (the default) keeps
+  // today's strict contract: ΣT = B at every audited call. The auditor
+  // (check::AuditedBufferPolicy) timestamps the first mismatch and reports a
+  // violation only when it persists beyond the bound.
+  virtual Time threshold_staleness_bound() const { return 0; }
+
   // Telemetry introspection (DESIGN.md §8), read by the qdisc right after
   // admit() to classify the event it emits. last_drop_reason() explains the
   // most recent admit() == false (default: the generic threshold/quota
@@ -94,6 +107,14 @@ class BufferPolicy {
     return telemetry::DropReason::kThreshold;
   }
   virtual int last_exchange_victim() const { return -1; }
+
+  // Telemetry attachment (DESIGN.md §8): the qdisc forwards its hub and
+  // observation-point id when it is instrumented, so policies that act
+  // asynchronously (the control-plane shim) can emit their own events at
+  // the same port. Default: no instrumentation.
+  virtual void attach_telemetry(telemetry::Hub& hub, int tel_port) {
+    (void)hub, (void)tel_port;
+  }
 
   virtual std::string_view name() const = 0;
 };

@@ -33,6 +33,9 @@ MultiQueueQdisc::MultiQueueQdisc(sim::Simulator& sim, std::vector<double> weight
 void MultiQueueQdisc::attach_telemetry(telemetry::Hub& hub, const std::string& name) {
   hub_ = &hub;
   tel_port_ = static_cast<std::int16_t>(hub.register_port(name));
+  // Policies that emit their own events (the control-plane shim) observe
+  // at the same point as the qdisc that hosts them.
+  policy_->attach_telemetry(hub, tel_port_);
 }
 
 void MultiQueueQdisc::emit_packet_event(telemetry::Hub& hub, telemetry::EventKind kind,

@@ -527,6 +527,32 @@ std::vector<Expectation> default_catalogue() {
     e.unbounded_above = true;
     cat.push_back(std::move(e));
   }
+  {
+    Expectation e = make("rob.controller_failover_retention", "§14",
+                         "DynaQ with a crashed controller (failed over to DT) retains "
+                         "throughput comparable to a native DT baseline",
+                         ExpectationKind::kSchemeRatio);
+    e.sweep = "rob_controller";
+    e.metric = "throughput_retention";
+    e.scheme_a = "DynaQ";
+    e.scheme_b = {"DT"};
+    e.lo = 0.95;
+    e.unbounded_above = true;
+    cat.push_back(std::move(e));
+  }
+  {
+    Expectation e = make("rob.controller_recovery_bounded", "§14",
+                         "time from controller return to restored DynaQ thresholds stays "
+                         "within one watchdog period plus the re-sync update latency",
+                         ExpectationKind::kMetricPairRatio);
+    e.sweep = "rob_controller";
+    e.metric = "recovery_time_us";
+    e.metric_b = "recovery_budget_us";
+    e.scheme_a = "DynaQ";
+    e.lo = 0.0;
+    e.hi = 1.0;
+    cat.push_back(std::move(e));
+  }
   return cat;
 }
 

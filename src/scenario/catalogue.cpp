@@ -136,11 +136,51 @@ Scenario mixed(const ScenarioParams& p) {
   return s;
 }
 
+Scenario controller_stall(const ScenarioParams& p) {
+  // The controller goes unresponsive (state intact) at 3/8 for a quarter of
+  // the run: stale thresholds stay enforced, the watchdog fails over to DT,
+  // and the restore path needs no re-sync.
+  Scenario s{"controller_stall", {}};
+  Action a = at(p.duration * 3 / 8, ActionKind::kControllerStall);
+  a.target = p.ctrl;
+  a.duration = p.duration / 4;
+  s.actions.push_back(std::move(a));
+  return s;
+}
+
+Scenario controller_crash(const ScenarioParams& p) {
+  // Same window, but the controller loses its state: in-flight updates are
+  // voided and recovery requires the full Eq. 1 re-sync (ΣT = B re-checked
+  // by the auditor the moment DynaQ enforcement resumes).
+  Scenario s{"controller_crash", {}};
+  Action a = at(p.duration * 3 / 8, ActionKind::kControllerCrash);
+  a.target = p.ctrl;
+  a.duration = p.duration / 4;
+  s.actions.push_back(std::move(a));
+  return s;
+}
+
+Scenario control_loss_window(const ScenarioParams& p) {
+  // The controller stays healthy but its updates stop arriving: the channel
+  // drops them at ctrl_loss_rate for a quarter of the run from 3/8. At 100%
+  // loss the commit stream goes quiet and the watchdog fails over exactly
+  // as for a stall.
+  Scenario s{"control_loss_window", {}};
+  Action a = at(p.duration * 3 / 8, ActionKind::kControlLossWindow);
+  a.target = p.ctrl;
+  a.loss_rate = p.ctrl_loss_rate;
+  a.duration = p.duration / 4;
+  s.actions.push_back(std::move(a));
+  return s;
+}
+
 }  // namespace
 
 std::vector<std::string> scenario_names() {
-  return {"none",   "weight_churn", "link_flap",      "service_churn",
-          "incast", "loss_burst",   "buffer_squeeze", "mixed"};
+  return {"none",           "weight_churn",     "link_flap",
+          "service_churn",  "incast",           "loss_burst",
+          "buffer_squeeze", "mixed",            "controller_stall",
+          "controller_crash", "control_loss_window"};
 }
 
 std::string_view scenario_description(std::string_view name) {
@@ -153,6 +193,12 @@ std::string_view scenario_description(std::string_view name) {
   if (name == "loss_burst") return "lossy-cable window: raised loss rate for a quarter of the run from 3/8";
   if (name == "buffer_squeeze") return "halve the bottleneck buffer at 3/8, restore it at 6/8";
   if (name == "mixed") return "kitchen sink: weight favor, link flap and incast in one run";
+  if (name == "controller_stall")
+    return "control plane unresponsive (state kept) for a quarter of the run from 3/8";
+  if (name == "controller_crash")
+    return "control plane down with state loss for a quarter of the run from 3/8";
+  if (name == "control_loss_window")
+    return "control channel drops threshold updates for a quarter of the run from 3/8";
   return "unknown scenario";
 }
 
@@ -167,6 +213,9 @@ Scenario make_scenario(std::string_view name, const ScenarioParams& params) {
   if (name == "loss_burst") return loss_burst(params);
   if (name == "buffer_squeeze") return buffer_squeeze(params);
   if (name == "mixed") return mixed(params);
+  if (name == "controller_stall") return controller_stall(params);
+  if (name == "controller_crash") return controller_crash(params);
+  if (name == "control_loss_window") return control_loss_window(params);
   std::ostringstream os;
   os << "unknown scenario '" << name << "' (known:";
   for (const std::string& known : scenario_names()) os << " " << known;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ctrlplane/control_plane.hpp"
 #include "net/fault_injection.hpp"
 #include "net/multi_queue_qdisc.hpp"
 #include "net/port.hpp"
@@ -51,6 +52,11 @@ void ScenarioDirector::register_loss(const std::string& name, net::BernoulliLoss
   losses_[name] = &queue;
 }
 
+void ScenarioDirector::register_ctrlplane(const std::string& name,
+                                          ctrlplane::ControlPlanePolicy& shim) {
+  ctrlplanes_[name] = &shim;
+}
+
 void ScenarioDirector::register_sender(int queue, transport::FlowSender& sender) {
   senders_[queue].push_back(&sender);
 }
@@ -59,32 +65,32 @@ void ScenarioDirector::set_incast_launcher(std::function<void(const Action&)> la
   launch_incast_ = std::move(launcher);
 }
 
-void ScenarioDirector::reject(std::size_t idx, const std::string& why) const {
+void ScenarioDirector::reject(const Action& a, std::size_t idx, const std::string& why) const {
   std::ostringstream os;
   os << "scenario";
   if (!name_.empty()) os << " '" << name_ << "'";
-  os << " action #" << idx << " (" << action_kind_name(actions_[idx].kind) << "): " << why;
+  os << " action #" << idx << " (" << action_kind_name(a.kind) << "): " << why;
   throw std::invalid_argument(os.str());
 }
 
 void ScenarioDirector::validate(const Action& a, std::size_t idx) const {
-  if (a.at < 0) reject(idx, "timestamp is negative");
+  if (a.at < 0) reject(a, idx, "timestamp is negative");
   switch (a.kind) {
     case ActionKind::kWeightUpdate:
     case ActionKind::kBufferResize: {
       const auto it = qdiscs_.find(a.target);
       if (it == qdiscs_.end()) {
-        reject(idx, "unknown qdisc '" + a.target + "' (known: " + known_keys(qdiscs_) + ")");
+        reject(a, idx, "unknown qdisc '" + a.target + "' (known: " + known_keys(qdiscs_) + ")");
       }
       if (a.kind == ActionKind::kWeightUpdate) {
         if (static_cast<int>(a.weights.size()) != it->second->num_service_queues()) {
-          reject(idx, "needs one weight per service queue");
+          reject(a, idx, "needs one weight per service queue");
         }
         for (const double w : a.weights) {
-          if (w <= 0.0) reject(idx, "weights must be positive");
+          if (w <= 0.0) reject(a, idx, "weights must be positive");
         }
       } else if (a.bytes <= 0) {
-        reject(idx, "new buffer size must be positive");
+        reject(a, idx, "new buffer size must be positive");
       }
       break;
     }
@@ -92,7 +98,7 @@ void ScenarioDirector::validate(const Action& a, std::size_t idx) const {
     case ActionKind::kServiceLeave: {
       const auto it = senders_.find(a.queue);
       if (it == senders_.end() || it->second.empty()) {
-        reject(idx, "no senders registered for queue " + std::to_string(a.queue));
+        reject(a, idx, "no senders registered for queue " + std::to_string(a.queue));
       }
       break;
     }
@@ -100,26 +106,40 @@ void ScenarioDirector::validate(const Action& a, std::size_t idx) const {
     case ActionKind::kLinkDown:
     case ActionKind::kLinkUp: {
       if (!links_.contains(a.target)) {
-        reject(idx, "unknown link '" + a.target + "' (known: " + known_keys(links_) + ")");
+        reject(a, idx, "unknown link '" + a.target + "' (known: " + known_keys(links_) + ")");
       }
       if (a.kind == ActionKind::kLinkRateChange && a.rate_bps <= 0.0) {
-        reject(idx, "link rate must be positive");
+        reject(a, idx, "link rate must be positive");
       }
       break;
     }
     case ActionKind::kIncastBurst: {
-      if (!launch_incast_) reject(idx, "no incast launcher installed");
-      if (a.count <= 0) reject(idx, "incast flow count must be positive");
-      if (a.bytes <= 0) reject(idx, "incast flow size must be positive");
-      if (a.queue < 0) reject(idx, "incast needs a target service queue");
+      if (!launch_incast_) reject(a, idx, "no incast launcher installed");
+      if (a.count <= 0) reject(a, idx, "incast flow count must be positive");
+      if (a.bytes <= 0) reject(a, idx, "incast flow size must be positive");
+      if (a.queue < 0) reject(a, idx, "incast needs a target service queue");
       break;
     }
     case ActionKind::kLossWindow: {
       if (!losses_.contains(a.target)) {
-        reject(idx, "unknown loss queue '" + a.target + "' (known: " + known_keys(losses_) + ")");
+        reject(a, idx, "unknown loss queue '" + a.target + "' (known: " + known_keys(losses_) + ")");
       }
-      if (a.loss_rate < 0.0 || a.loss_rate > 1.0) reject(idx, "loss rate must be in [0, 1]");
-      if (a.duration <= 0) reject(idx, "loss window needs a positive duration");
+      if (a.loss_rate < 0.0 || a.loss_rate > 1.0) reject(a, idx, "loss rate must be in [0, 1]");
+      if (a.duration <= 0) reject(a, idx, "loss window needs a positive duration");
+      break;
+    }
+    case ActionKind::kControllerStall:
+    case ActionKind::kControllerCrash:
+    case ActionKind::kControlLossWindow: {
+      if (!ctrlplanes_.contains(a.target)) {
+        reject(a, idx, "unknown control plane '" + a.target +
+                        "' (known: " + known_keys(ctrlplanes_) + ")");
+      }
+      if (a.kind == ActionKind::kControlLossWindow &&
+          (a.loss_rate < 0.0 || a.loss_rate > 1.0)) {
+        reject(a, idx, "loss rate must be in [0, 1]");
+      }
+      if (a.duration <= 0) reject(a, idx, "controller fault needs a positive duration");
       break;
     }
   }
@@ -127,10 +147,13 @@ void ScenarioDirector::validate(const Action& a, std::size_t idx) const {
 
 void ScenarioDirector::arm(const Scenario& scenario) {
   if (armed_) throw std::logic_error("ScenarioDirector::arm called twice");
+  // Validate the whole timeline before touching any director state: a
+  // reject must leave nothing armed and nothing scheduled, so a re-arm
+  // with a corrected Scenario starts from a clean slate.
+  for (std::size_t i = 0; i < scenario.actions.size(); ++i) validate(scenario.actions[i], i);
   armed_ = true;
   name_ = scenario.name;
   actions_ = scenario.actions;
-  for (std::size_t i = 0; i < actions_.size(); ++i) validate(actions_[i], i);
 
   // One inline closure per action (DESIGN.md §9): 16 bytes of captures
   // ([this, i]), never a heap fallback. Ties at equal timestamps fire in
@@ -141,6 +164,10 @@ void ScenarioDirector::arm(const Scenario& scenario) {
     if (actions_[i].kind == ActionKind::kLossWindow) {
       sim_.schedule_at(actions_[i].at + actions_[i].duration,
                        [this, i] { end_loss_window(i); });
+    }
+    if (actions_[i].kind == ActionKind::kControlLossWindow) {
+      sim_.schedule_at(actions_[i].at + actions_[i].duration,
+                       [this, i] { end_control_loss_window(i); });
     }
   }
 }
@@ -184,6 +211,18 @@ void ScenarioDirector::apply(std::size_t idx) {
       losses_.at(a.target)->set_loss_rate(a.loss_rate);
       payload = static_cast<std::int64_t>(a.loss_rate * 1e6);
       break;
+    case ActionKind::kControllerStall:
+      ctrlplanes_.at(a.target)->stall_for(a.duration);
+      payload = static_cast<std::int64_t>(to_microseconds(a.duration));
+      break;
+    case ActionKind::kControllerCrash:
+      ctrlplanes_.at(a.target)->crash_for(a.duration);
+      payload = static_cast<std::int64_t>(to_microseconds(a.duration));
+      break;
+    case ActionKind::kControlLossWindow:
+      ctrlplanes_.at(a.target)->set_update_loss(a.loss_rate);
+      payload = static_cast<std::int64_t>(a.loss_rate * 1e6);
+      break;
   }
   ++applied_;
   emit(a, idx, payload);
@@ -192,6 +231,14 @@ void ScenarioDirector::apply(std::size_t idx) {
 void ScenarioDirector::end_loss_window(std::size_t idx) {
   const Action& a = actions_[idx];
   losses_.at(a.target)->set_loss_rate(0.0);
+  ++applied_;
+  emit(a, idx, 0);
+}
+
+void ScenarioDirector::end_control_loss_window(std::size_t idx) {
+  const Action& a = actions_[idx];
+  ctrlplane::ControlPlanePolicy* shim = ctrlplanes_.at(a.target);
+  shim->set_update_loss(shim->base_update_loss());
   ++applied_;
   emit(a, idx, 0);
 }

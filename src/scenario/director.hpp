@@ -23,6 +23,9 @@
 #include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
 
+namespace dynaq::ctrlplane {
+class ControlPlanePolicy;
+}
 namespace dynaq::net {
 class BernoulliLossQueue;
 class MultiQueueQdisc;
@@ -55,6 +58,10 @@ class ScenarioDirector {
   void register_qdisc(const std::string& name, net::MultiQueueQdisc& qdisc);
   void register_link(const std::string& name, net::Port& port);
   void register_loss(const std::string& name, net::BernoulliLossQueue& queue);
+  // Control-plane shims (DESIGN.md §14): controller_stall / controller_crash
+  // / control_loss_window act only through the shim's fault handles —
+  // conventions rule 14 bans any other controller mutation path.
+  void register_ctrlplane(const std::string& name, ctrlplane::ControlPlanePolicy& shim);
   // Senders are grouped by the service queue they feed; service_join /
   // service_leave act on every sender of the named queue.
   void register_sender(int queue, transport::FlowSender& sender);
@@ -77,8 +84,9 @@ class ScenarioDirector {
   void validate(const Action& a, std::size_t idx) const;
   void apply(std::size_t idx);
   void end_loss_window(std::size_t idx);
+  void end_control_loss_window(std::size_t idx);
   void emit(const Action& a, std::size_t idx, std::int64_t payload);
-  [[noreturn]] void reject(std::size_t idx, const std::string& why) const;
+  [[noreturn]] void reject(const Action& a, std::size_t idx, const std::string& why) const;
 
   sim::Simulator& sim_;
   telemetry::Hub* hub_ = nullptr;
@@ -91,6 +99,7 @@ class ScenarioDirector {
   std::map<std::string, net::MultiQueueQdisc*> qdiscs_;
   std::map<std::string, net::Port*> links_;
   std::map<std::string, net::BernoulliLossQueue*> losses_;
+  std::map<std::string, ctrlplane::ControlPlanePolicy*> ctrlplanes_;
   std::map<int, std::vector<transport::FlowSender*>> senders_;
   std::function<void(const Action&)> launch_incast_;
   std::uint64_t applied_ = 0;

@@ -25,8 +25,13 @@ enum class ActionKind : std::uint8_t {
   kBufferResize = 6,    // rewrite a qdisc's buffer size B
   kIncastBurst = 7,     // launch N synchronized short flows into one queue
   kLossWindow = 8,      // raise a loss queue's rate for a bounded window
+  // Control-plane faults (dynaq::ctrlplane, DESIGN.md §14); targets are
+  // registered ControlPlanePolicy handles ("sw.p0.ctrl").
+  kControllerStall = 9,     // controller unresponsive for `duration` (state kept)
+  kControllerCrash = 10,    // controller down for `duration` (state lost)
+  kControlLossWindow = 11,  // raise control-channel loss for a bounded window
 };
-inline constexpr std::size_t kNumActionKinds = 9;
+inline constexpr std::size_t kNumActionKinds = 12;
 
 constexpr std::string_view action_kind_name(ActionKind kind) {
   switch (kind) {
@@ -39,6 +44,9 @@ constexpr std::string_view action_kind_name(ActionKind kind) {
     case ActionKind::kBufferResize: return "buffer_resize";
     case ActionKind::kIncastBurst: return "incast_burst";
     case ActionKind::kLossWindow: return "loss_window";
+    case ActionKind::kControllerStall: return "controller_stall";
+    case ActionKind::kControllerCrash: return "controller_crash";
+    case ActionKind::kControlLossWindow: return "control_loss_window";
   }
   return "unknown";
 }
@@ -54,8 +62,8 @@ struct Action {
   double rate_bps = 0.0;        // link_rate_change
   std::int64_t bytes = 0;       // buffer_resize: new B; incast_burst: flow size
   int count = 0;                // incast_burst: number of synchronized flows
-  double loss_rate = 0.0;       // loss_window: probability in [0, 1]
-  Time duration = 0;            // loss_window: window length
+  double loss_rate = 0.0;       // loss_window / control_loss_window: probability
+  Time duration = 0;            // loss_window / controller faults: window length
 };
 
 struct Scenario {
@@ -77,10 +85,16 @@ struct ScenarioParams {
   int incast_fanin = 16;
   std::int64_t incast_bytes = 20'000;
   double loss_burst_rate = 0.02;
+  // Control-plane fault targets (DESIGN.md §14): the ControlPlanePolicy
+  // handle at the bottleneck and the channel loss rate the
+  // control_loss_window timeline raises.
+  std::string ctrl = "sw.p0.ctrl";
+  double ctrl_loss_rate = 1.0;
 };
 
 // Builds one of the named scenarios ("none", "weight_churn", "link_flap",
-// "service_churn", "incast", "loss_burst", "buffer_squeeze", "mixed").
+// "service_churn", "incast", "loss_burst", "buffer_squeeze", "mixed",
+// "controller_stall", "controller_crash", "control_loss_window").
 // Throws std::invalid_argument listing the known names when `name` is not
 // one of them — bench binaries surface that as a clean usage error.
 Scenario make_scenario(std::string_view name, const ScenarioParams& params);

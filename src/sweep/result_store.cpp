@@ -63,6 +63,27 @@ void write_telemetry(JsonWriter& json, const telemetry::TelemetrySummary& t) {
   json.value(t.ecn_marks);
   json.key("scenario_actions");
   json.value(t.scenario_actions);
+  if (t.control.any()) {
+    // Control-plane block (DESIGN.md §14), present only when a
+    // ctrlplane::ControlPlanePolicy actually emitted events this run.
+    json.key("control");
+    json.begin_object();
+    json.key("updates");
+    json.value(t.control.updates);
+    json.key("updates_lost");
+    json.value(t.control.updates_lost);
+    json.key("failovers");
+    json.value(t.control.failovers);
+    json.key("restores");
+    json.value(t.control.restores);
+    json.key("degraded_us");
+    json.value(t.control.degraded_us);
+    json.key("recovery_us");
+    json.value(t.control.recovery_us);
+    json.key("throughput_retention");
+    json.value(t.control.throughput_retention);
+    json.end_object();
+  }
   json.key("queue_delay");
   json.begin_array();
   for (std::size_t q = 0; q < t.queue_delay.size(); ++q) {
@@ -198,10 +219,12 @@ std::string ResultStore::to_json(const JsonOptions& options,
                                  const std::string& replica_axis) const {
   JsonWriter json;
   json.begin_object();
-  // v5: jobs gained the per-job "oracle" competitive-ratio block
-  // (DESIGN.md §12); v4: telemetry gained "scenario_actions" (§11).
+  // v6: telemetry gained the optional "control" block (control-plane
+  // updates/failovers and recovery metrics, DESIGN.md §14); v5: jobs gained
+  // the per-job "oracle" competitive-ratio block (DESIGN.md §12); v4:
+  // telemetry gained "scenario_actions" (§11).
   json.key("schema_version");
-  json.value(5);
+  json.value(6);
   json.key("sweep");
   json.value(name_);
   json.key("mode");

@@ -48,8 +48,15 @@ enum class EventKind : std::uint8_t {
   kThresholdExchange = 3,  // DynaQ moved `bytes` of threshold victim -> requester
   kEcnMark = 4,
   kScenarioAction = 5,     // scenario::ScenarioDirector applied a timeline action
+  // Control-plane shim events (dynaq::ctrlplane, DESIGN.md §14). `bytes`
+  // carries a microsecond latency payload where noted so the recovery
+  // instrument never needs simulator access beyond the event stream.
+  kControlUpdate = 6,      // threshold update committed at the data plane
+  kControlUpdateLost = 7,  // update dropped by the control channel
+  kControlFailover = 8,    // watchdog engaged DT failover (bytes: staleness µs)
+  kControlRestore = 9,     // DynaQ restored after re-sync (bytes: recovery µs)
 };
-inline constexpr std::size_t kNumEventKinds = 6;
+inline constexpr std::size_t kNumEventKinds = 10;
 
 constexpr std::string_view event_kind_name(EventKind kind) {
   switch (kind) {
@@ -59,6 +66,10 @@ constexpr std::string_view event_kind_name(EventKind kind) {
     case EventKind::kThresholdExchange: return "threshold_exchange";
     case EventKind::kEcnMark: return "ecn_mark";
     case EventKind::kScenarioAction: return "scenario_action";
+    case EventKind::kControlUpdate: return "control_update";
+    case EventKind::kControlUpdateLost: return "control_update_lost";
+    case EventKind::kControlFailover: return "control_failover";
+    case EventKind::kControlRestore: return "control_restore";
   }
   return "unknown";
 }

@@ -62,6 +62,18 @@ void Hub::emit(Event e) {
     case EventKind::kScenarioAction:
       ++scenario_actions_;
       break;
+    case EventKind::kControlUpdate:
+      ++control_updates_;
+      break;
+    case EventKind::kControlUpdateLost:
+      ++control_updates_lost_;
+      break;
+    case EventKind::kControlFailover:
+      ++control_failovers_;
+      break;
+    case EventKind::kControlRestore:
+      ++control_restores_;
+      break;
   }
   if (!ring_.empty()) {
     if (ring_count_ == ring_.size()) ++ring_overwritten_;
@@ -108,6 +120,10 @@ TelemetrySummary Hub::summary() const {
   s.exchanged_bytes = exchanged_bytes_;
   s.ecn_marks = ecn_marks_;
   s.scenario_actions = scenario_actions_;
+  s.control.updates = control_updates_;
+  s.control.updates_lost = control_updates_lost_;
+  s.control.failovers = control_failovers_;
+  s.control.restores = control_restores_;
   s.queue_delay.reserve(delay_hist_.size());
   for (const LogHistogram& h : delay_hist_) {
     QueueDelaySummary q;

@@ -160,6 +160,10 @@ class Hub {
   std::int64_t exchanged_bytes_ = 0;
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t scenario_actions_ = 0;
+  std::uint64_t control_updates_ = 0;
+  std::uint64_t control_updates_lost_ = 0;
+  std::uint64_t control_failovers_ = 0;
+  std::uint64_t control_restores_ = 0;
 
   std::size_t max_delay_queues_;
   std::vector<LogHistogram> delay_hist_;  // indexed by service queue

@@ -21,6 +21,23 @@ struct QueueDelaySummary {
   double max_us = 0.0;
 };
 
+// Control-plane health digest (dynaq::ctrlplane, DESIGN.md §14). The event
+// counts come straight from the hub's monotonic counters; the derived time
+// and retention figures are filled by the ctrlplane::RecoveryInstrument
+// subscriber (a pure function of the event stream, so still byte-identical
+// across worker counts). All zeros / retention 1.0 when no shim is attached.
+struct ControlSummary {
+  std::uint64_t updates = 0;        // threshold updates committed
+  std::uint64_t updates_lost = 0;   // updates dropped by the control channel
+  std::uint64_t failovers = 0;      // watchdog DT-failover engagements
+  std::uint64_t restores = 0;       // DynaQ restorations after re-sync
+  double degraded_us = 0.0;         // total time spent failed over
+  double recovery_us = 0.0;         // last restore's time-to-steady-state
+  double throughput_retention = 1.0;  // degraded / normal enqueue rate at the port
+
+  bool any() const { return updates + updates_lost + failovers + restores > 0; }
+};
+
 struct TelemetrySummary {
   std::array<std::uint64_t, kNumDropReasons> drops_by_reason{};
   std::uint64_t enqueues = 0;
@@ -29,6 +46,7 @@ struct TelemetrySummary {
   std::int64_t exchanged_bytes = 0;
   std::uint64_t ecn_marks = 0;
   std::uint64_t scenario_actions = 0;  // mid-run timeline actions applied (DESIGN.md §11)
+  ControlSummary control;              // control-plane shim health (DESIGN.md §14)
   std::vector<QueueDelaySummary> queue_delay;  // indexed by service queue
 
   std::uint64_t drops(DropReason reason) const {

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "ctrlplane/control_plane.hpp"
 #include "net/fault_injection.hpp"
 #include "scenario/director.hpp"
 
@@ -61,6 +62,12 @@ void StarTopology::register_scenario_handles(scenario::ScenarioDirector& directo
     director.register_link(nic, host(i).nic());
     if (nic_loss_[static_cast<std::size_t>(i)] != nullptr) {
       director.register_loss(nic, *nic_loss_[static_cast<std::size_t>(i)]);
+    }
+    // Control-plane shim handle (DESIGN.md §14), present only when the
+    // scheme installed one (possibly under the audit decorator).
+    if (ctrlplane::ControlPlanePolicy* shim =
+            ctrlplane::find_control_plane(port_qdisc(i).policy())) {
+      director.register_ctrlplane(sw + ".ctrl", *shim);
     }
   }
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/policies.hpp"
+#include "net/fault_injection.hpp"
 #include "net/multi_queue_qdisc.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -13,6 +14,7 @@
 #include "net/queue_disc.hpp"
 #include "net/schedulers.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/hub.hpp"
 
 namespace dynaq {
 namespace {
@@ -380,6 +382,53 @@ TEST(MultiQueueQdisc, SojournTimestampSet) {
   sim.schedule_at(microseconds(std::int64_t{50}), [&] { qd.enqueue(data_pkt(0)); });
   sim.run();
   EXPECT_EQ(qd.state().queue(0).packets.front().enqueued_at, microseconds(std::int64_t{50}));
+}
+
+// ------------------------------------------- Fault-injection queues --
+
+// set_loss_rate(0.0) must pass every packet: the RNG stream keeps drawing
+// (determinism across rate flips) but no draw can fall below zero.
+TEST(BernoulliLossQueue, RateZeroAdmitsEverything) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim, {.enabled = true});
+  net::BernoulliLossQueue q(0.7, /*seed=*/11);
+  q.attach_telemetry(hub, "lossy");
+  q.set_loss_rate(0.0);
+  const int n = 1'000;
+  int admitted = 0;
+  for (int i = 0; i < n; ++i) {
+    if (q.enqueue(data_pkt(0, 100))) {
+      ++admitted;
+      q.dequeue();
+    }
+  }
+  EXPECT_EQ(admitted, n);
+  EXPECT_EQ(q.injected_losses(), 0u);
+  EXPECT_EQ(hub.summary().drops(telemetry::DropReason::kInjected), 0u);
+}
+
+// set_loss_rate(1.0) must drop every data packet — tagged kInjected, ACKs
+// untouched, and the offered = admitted + injected ledger conserved.
+TEST(BernoulliLossQueue, RateOneDropsAllDataTaggedInjected) {
+  sim::Simulator sim;
+  telemetry::Hub hub(sim, {.enabled = true});
+  net::BernoulliLossQueue q(0.0, /*seed=*/11);
+  q.attach_telemetry(hub, "lossy");
+  q.set_loss_rate(1.0);
+  const int n = 1'000;
+  int admitted = 0;
+  for (int i = 0; i < n; ++i) {
+    if (q.enqueue(data_pkt(0, 100))) ++admitted;
+  }
+  EXPECT_EQ(admitted, 0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.injected_losses(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(admitted + static_cast<int>(q.injected_losses()), n);
+  // The injector only touches data packets: ACKs pass even at rate 1.0.
+  EXPECT_TRUE(q.enqueue(net::make_ack_packet(1, 0, 1, 100)));
+  EXPECT_EQ(hub.summary().drops(telemetry::DropReason::kInjected),
+            static_cast<std::uint64_t>(n));
+  EXPECT_EQ(hub.summary().drops(telemetry::DropReason::kPortFull), 0u);
 }
 
 }  // namespace

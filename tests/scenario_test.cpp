@@ -11,10 +11,13 @@
 
 #include "harness/dynamic_experiment.hpp"
 #include "harness/static_experiment.hpp"
+#include "core/policies.hpp"
 #include "net/fault_injection.hpp"
+#include "net/multi_queue_qdisc.hpp"
 #include "net/packet.hpp"
 #include "net/port.hpp"
 #include "net/queue_disc.hpp"
+#include "net/schedulers.hpp"
 #include "scenario/director.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
@@ -123,6 +126,44 @@ TEST(Director, ArmRejectsUnknownHandle) {
     EXPECT_NE(std::string(e.what()).find("none registered"), std::string::npos) << e.what();
   }
   EXPECT_EQ(sim.events_processed(), 0u) << "nothing may be scheduled on reject";
+}
+
+// Validate-all-then-schedule: a timeline whose LAST action is invalid must
+// be rejected as a whole — the valid leading action may not fire later, and
+// the error names the unresolvable handle.
+TEST(Director, ArmRejectsWholeTimelineOnLateInvalidAction) {
+  sim::Simulator sim;
+  net::MultiQueueQdisc qd(sim, {1, 1}, 100'000, std::make_unique<core::BestEffortPolicy>(),
+                          std::make_unique<net::SpqScheduler>());
+  scenario::ScenarioDirector director(sim);
+  director.register_qdisc("sw.p0", qd);
+
+  scenario::Scenario s{"t", {}};
+  scenario::Action ok;
+  ok.at = 0;
+  ok.kind = scenario::ActionKind::kWeightUpdate;
+  ok.target = "sw.p0";
+  ok.weights = {2, 1};
+  s.actions.push_back(ok);
+  scenario::Action bad;
+  bad.at = milliseconds(std::int64_t{1});
+  bad.kind = scenario::ActionKind::kControllerCrash;
+  bad.target = "sw.p9.ctrl";  // never registered
+  bad.duration = milliseconds(std::int64_t{5});
+  s.actions.push_back(bad);
+
+  try {
+    director.arm(s);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sw.p9.ctrl"), std::string::npos) << e.what();
+  }
+  // Nothing from the timeline was scheduled: running the sim to completion
+  // applies zero actions and the valid weight update never lands.
+  sim.run();
+  EXPECT_EQ(director.actions_applied(), 0u);
+  EXPECT_EQ(director.actions_armed(), 0u);
+  EXPECT_EQ(qd.state().queue(0).weight, 1.0);
 }
 
 TEST(Director, ArmTwiceThrows) {

@@ -132,12 +132,13 @@ TEST(SweepRunner, TrajectoryHashesRideJobResultsForAnyWorkerCount) {
     EXPECT_EQ(*store1.outcome(i).trajectory_hash, 0x1000u + i);
   }
 
-  // schema_version 5: per-job "trajectory_hash" as a canonical hex string
-  // (u64 values do not survive JSON doubles), byte-identical across --jobs.
+  // Since schema_version 3, per-job "trajectory_hash" is a canonical hex
+  // string (u64 values do not survive JSON doubles), byte-identical across
+  // --jobs.
   const sweep::JsonOptions no_perf{.include_perf = false};
   const std::string json = store1.to_json(no_perf);
   EXPECT_EQ(json, store4.to_json(no_perf));
-  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
   EXPECT_NE(json.find("\"trajectory_hash\":\"0x0000000000001000\""), std::string::npos);
   EXPECT_NE(json.find("\"trajectory_hash\":\"0x000000000000100b\""), std::string::npos);
 }

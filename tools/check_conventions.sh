@@ -44,6 +44,13 @@
 #      (sim, net, core, transport, topo, harness, telemetry, sweep,
 #      scenario, oracle, check, stats, workload) — expectations judge runs
 #      from their artifacts, never from simulator internals.
+#  14. Control-plane mutations go through the ctrlplane shim (DESIGN.md
+#      §14): outside src/core (the policy that owns it) and src/ctrlplane
+#      (the shim), no src/ code may drive core::DynaQController's mutating
+#      entry points (on_arrival / undo_last_exchange / reinitialize) — stale
+#      thresholds, watchdog failover and re-sync all flow through
+#      ctrlplane::ControlPlanePolicy so the bounded-staleness audit and the
+#      trajectory hash see every change.
 #   8. Instrumentation goes through telemetry::Hub (DESIGN.md §8): no
 #      ad-hoc per-port callback mutation. The last-writer-wins Port
 #      callbacks (on_transmit_start/on_deliver) were replaced by the hub's
@@ -180,6 +187,15 @@ hits=$(grep -rnE '#include "(sim|net|core|transport|topo|harness|telemetry|sweep
 if [[ -n "$hits" ]]; then
   complain "report-via-artifacts" \
     "src/report judges runs from serialized artifacts (sweep JSON, BENCH_*.json); it must not include model/runtime headers:" \
+    "$hits"
+fi
+
+# -- 14. controller mutations only via src/core + src/ctrlplane (§14) ---------
+hits=$(grep -rnE '\.(on_arrival|undo_last_exchange|reinitialize)\s*\(' src/ \
+  | grep -vE '^src/(core|ctrlplane)/' | grep -vE '^\S+:\s*//' || true)
+if [[ -n "$hits" ]]; then
+  complain "ctrlplane-shim-only" \
+    "DynaQController mutations outside src/core and src/ctrlplane bypass the control-plane shim (DESIGN.md §14):" \
     "$hits"
 fi
 

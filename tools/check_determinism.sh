@@ -17,6 +17,12 @@
 #                on the emitted oracle blocks (trace fingerprints, solver
 #                outputs): recording + offline replay is a pure function of
 #                the seed, for any worker count.
+#   6. ctrlplane: a degraded-control-plane run (bench/rob_controller with
+#                the controller_crash timeline, DESIGN.md §14) satisfies the
+#                same properties — asynchronous threshold updates (period >
+#                0), Bernoulli update loss, watchdog failover to DT and the
+#                re-sync restore are all part of the trajectory, for any
+#                worker count.
 #
 # Usage: check_determinism.sh <build-dir>
 set -eu
@@ -130,7 +136,40 @@ if [[ "$ova" != *trace_fingerprint* ]]; then
   fail=1
 fi
 
+# -- degraded-control-plane runs (DESIGN.md §14) ------------------------------
+cbin="$build/bench/rob_controller"
+[[ -x "$cbin" ]] || { echo "check_determinism: $cbin not built" >&2; exit 1; }
+
+run_ctrl() {  # run_ctrl <outdir> <extra flags...>
+  local out="$work/$1"
+  shift
+  mkdir -p "$out"
+  # The bench always runs DynaQ behind the shim with update period 5 ms >
+  # 0 (async staleness + per-update loss draws are on the differential).
+  "$cbin" --duration-s=1 --scenario=controller_crash --schemes=DynaQ,DT --strict \
+    --json "$out" "$@" > /dev/null
+  grep -o '"trajectory_hash":"0x[0-9a-f]*"' "$out/rob_controller.json" | sort
+}
+
+ca=$(run_ctrl ctrl_repeat_a --seeds=1,2 --jobs=1)
+cb=$(run_ctrl ctrl_repeat_b --seeds=1,2 --jobs=1)
+expect_equal "ctrlplane: same seed, repeated run" "$ca" "$cb"
+cj=$(run_ctrl ctrl_jobs_4 --seeds=1,2 --jobs=4)
+expect_equal "ctrlplane: --jobs 1 vs --jobs 4" "$ca" "$cj"
+cs=$(run_ctrl ctrl_seed_b --seeds=3,4 --jobs=2)
+if [[ -n "$(comm -12 <(printf '%s\n' "$ca") <(printf '%s\n' "$cs"))" ]]; then
+  echo "check_determinism: FAILED (ctrlplane: different seeds produced a shared hash):"
+  comm -12 <(printf '%s\n' "$ca") <(printf '%s\n' "$cs") | sed 's/^/  /'
+  fail=1
+fi
+# The crash scenario must actually degrade the run: the JSON carries the
+# telemetry control block with at least one failover.
+if ! grep -q '"failovers":[1-9]' "$work/ctrl_repeat_a/rob_controller.json"; then
+  echo "check_determinism: FAILED (ctrlplane: controller_crash produced no failover)"
+  fail=1
+fi
+
 if [[ $fail -eq 0 ]]; then
-  echo "check_determinism: OK (repeat, --jobs 1 vs 4, seed sensitivity, scenario runs, oracle runs)"
+  echo "check_determinism: OK (repeat, --jobs 1 vs 4, seed sensitivity, scenario runs, oracle runs, ctrlplane runs)"
 fi
 exit $fail

@@ -1,0 +1,20 @@
+// detlint self-test fixture: must trip [ctrlplane-bypass]. Not compiled.
+#include <cstdint>
+#include <vector>
+
+namespace dynaq::fixture {
+
+struct Controller {
+  int on_arrival(const std::vector<std::int64_t>&, int, std::int32_t);
+  void undo_last_exchange();
+  void reinitialize(std::int64_t);
+};
+
+inline void poke_controller_behind_the_shims_back(Controller& ctl) {
+  const std::vector<std::int64_t> occupancy{1'000, 2'000};
+  ctl.on_arrival(occupancy, 0, 1'460);  // mutation invisible to the shim
+  ctl.undo_last_exchange();
+  ctl.reinitialize(85'000);
+}
+
+}  // namespace dynaq::fixture

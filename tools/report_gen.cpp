@@ -187,9 +187,11 @@ int main(int argc, char** argv) {
   if (have_core) inputs.bench_core = &bench_core;
 
   // ---- history ledger --------------------------------------------------
+  bool have_ledger_baseline = false;  // prior rows existed to compare against
   if (!opt.history.empty()) {
     std::string existing;
     read_file(opt.history, &existing);  // absent file = empty ledger
+    have_ledger_baseline = !existing.empty();
     // The smoke-sweep perf row prefers the doc named like the CI snapshot;
     // otherwise the first loaded sweep carries the wall-clock trend.
     const report::SweepDoc* perf_doc = nullptr;
@@ -248,6 +250,19 @@ int main(int argc, char** argv) {
     if (inputs.sweeps.empty()) {
       std::fprintf(stderr, "report_gen: --gate needs at least one sweep document\n");
       return 2;
+    }
+    // A gate without a populated ledger still judges expectations, but the
+    // bench comparator has no baseline — say so instead of passing silently.
+    if (!have_ledger_baseline) {
+      if (opt.history.empty()) {
+        std::fprintf(stderr, "report_gen: warning: no ledger (--history not given) — "
+                             "bench regression check skipped\n");
+      } else {
+        std::fprintf(stderr,
+                     "report_gen: warning: %s missing or empty — no ledger, bench "
+                     "regression check skipped\n",
+                     opt.history.c_str());
+      }
     }
     if (report::gate_failed(inputs)) return 1;
   }
